@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race cover bench fuzz examples figures figures-paper
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+fuzz:
+	go test -fuzz FuzzReadCSV -fuzztime 30s ./internal/dataset/
+	go test -fuzz FuzzReadJSON -fuzztime 30s ./internal/bayesnet/
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/movies
+	go run ./examples/nba
+	go run ./examples/sensors
+	go run ./examples/pipeline
+
+figures:
+	go run ./cmd/benchfig -all
+
+figures-paper:
+	go run ./cmd/benchfig -all -scale paper

@@ -1,0 +1,80 @@
+package bayescrowd_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bayescrowd"
+)
+
+// completeSample fills the paper's 5-movie sample with ground truth whose
+// skyline is {o1, o2, o3, o5}.
+func completeSample() *bayescrowd.Dataset {
+	d := bayescrowd.SampleMovies().Clone()
+	d.Objects[1].Cells[1] = bayescrowd.Known(4)
+	d.Objects[2].Cells[2] = bayescrowd.Known(2)
+	d.Objects[4].Cells[1] = bayescrowd.Known(3)
+	d.Objects[4].Cells[2] = bayescrowd.Known(3)
+	d.Objects[4].Cells[3] = bayescrowd.Known(3)
+	return d
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	incomplete := bayescrowd.SampleMovies()
+	truth := completeSample()
+
+	platform := bayescrowd.NewSimulatedCrowd(truth, 1.0, nil)
+	res, err := bayescrowd.Run(incomplete, platform, bayescrowd.Options{
+		Alpha:    1,
+		Budget:   20,
+		Latency:  5,
+		Strategy: bayescrowd.HHS,
+		M:        2,
+		Rng:      rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bayescrowd.Skyline(truth)
+	if !reflect.DeepEqual(res.Answers, want) {
+		t.Fatalf("Answers = %v, want %v", res.Answers, want)
+	}
+	if f1 := bayescrowd.F1(res.Answers, want); f1 != 1 {
+		t.Fatalf("F1 = %v, want 1", f1)
+	}
+	p, r, f1 := bayescrowd.PRF1(res.Answers, want)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Fatalf("PRF1 = %v,%v,%v", p, r, f1)
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := bayescrowd.WriteCSV(&buf, bayescrowd.SampleMovies()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := bayescrowd.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 5 || back.NumAttrs() != 5 {
+		t.Fatalf("shape %dx%d", back.Len(), back.NumAttrs())
+	}
+}
+
+func TestPublicDatasetConstruction(t *testing.T) {
+	d := bayescrowd.NewDataset([]bayescrowd.Attribute{
+		{Name: "speed", Levels: 5},
+		{Name: "range", Levels: 5},
+	})
+	if err := d.Append(bayescrowd.Object{ID: "car1", Cells: []bayescrowd.Cell{
+		bayescrowd.Known(3), bayescrowd.Unknown(),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.MissingRate() != 0.5 { // 1 of 2 cells missing
+		t.Fatalf("MissingRate = %v", d.MissingRate())
+	}
+}

@@ -1,0 +1,73 @@
+// bench_test.go exposes one testing.B benchmark per table and figure of
+// the paper's evaluation (§7). Each benchmark regenerates its experiment
+// at the quick scale via the internal/bench harness; `go run
+// ./cmd/benchfig -all -scale paper` reproduces the full-scale tables and
+// EXPERIMENTS.md records the measured shapes against the paper's.
+package bayescrowd
+
+import (
+	"io"
+	"testing"
+
+	"bayescrowd/internal/bench"
+)
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	s := bench.Quick()
+	s.Reps = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(io.Discard, name, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2CTableConstruction regenerates Figure 2: Get-CTable vs the
+// pairwise Baseline across missing rates on both datasets.
+func BenchmarkFig2CTableConstruction(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig3ProbabilityComputation regenerates Figure 3: ADPLL vs
+// Naive enumeration across missing rates on both datasets.
+func BenchmarkFig3ProbabilityComputation(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig3Ablation measures the ADPLL design choices (component
+// decomposition, most-frequent-variable branching) beyond the paper.
+func BenchmarkFig3Ablation(b *testing.B) { runExperiment(b, "fig3-ablation") }
+
+// BenchmarkFig4CrowdSkyComparison regenerates Figure 4: execution time,
+// #tasks and #rounds of BayesCrowd (FBS/UBS/HHS) vs CrowdSky across NBA
+// cardinality with two crowd attributes.
+func BenchmarkFig4CrowdSkyComparison(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5Budget regenerates Figure 5: time and F1 vs budget.
+func BenchmarkFig5Budget(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6MissingRate regenerates Figure 6: time and F1 vs missing
+// rate.
+func BenchmarkFig6MissingRate(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7ParameterM regenerates Figure 7: the HHS m sweep with FBS
+// and UBS as references.
+func BenchmarkFig7ParameterM(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8Alpha regenerates Figure 8: time and F1 vs the pruning
+// threshold α.
+func BenchmarkFig8Alpha(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9WorkerAccuracy regenerates Figure 9: time and F1 vs worker
+// accuracy.
+func BenchmarkFig9WorkerAccuracy(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10Latency regenerates Figure 10: time and F1 vs the number
+// of rounds on Synthetic.
+func BenchmarkFig10Latency(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Cardinality regenerates Figure 11: time and F1 vs
+// Synthetic cardinality.
+func BenchmarkFig11Cardinality(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkTable6AMT regenerates Table 6: the simulated live-marketplace
+// F1 of the three strategies.
+func BenchmarkTable6AMT(b *testing.B) { runExperiment(b, "table6") }

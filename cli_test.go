@@ -1,0 +1,105 @@
+package bayescrowd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the CLI binaries once into a temp dir.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI builds skipped in -short mode")
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"bayescrowd", "datagen", "bnlearn", "benchfig"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "./cmd/"+name)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	return dir
+}
+
+func TestCLIWorkflowEndToEnd(t *testing.T) {
+	bin := buildCmds(t)
+	work := t.TempDir()
+	holes := filepath.Join(work, "holes.csv")
+	full := filepath.Join(work, "full.csv")
+	netJSON := filepath.Join(work, "net.json")
+	netDOT := filepath.Join(work, "net.dot")
+
+	// 1. Generate a dataset pair.
+	out, err := exec.Command(filepath.Join(bin, "datagen"),
+		"-kind", "nba", "-n", "300", "-missing", "0.1",
+		"-out", holes, "-truth-out", full).CombinedOutput()
+	if err != nil {
+		t.Fatalf("datagen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "300 objects") {
+		t.Fatalf("datagen output: %s", out)
+	}
+
+	// 2. Learn and persist a network.
+	out, err = exec.Command(filepath.Join(bin, "bnlearn"),
+		"-data", full, "-out", netJSON, "-dot", netDOT).CombinedOutput()
+	if err != nil {
+		t.Fatalf("bnlearn: %v\n%s", err, out)
+	}
+	if dot, err := os.ReadFile(netDOT); err != nil || !strings.Contains(string(dot), "digraph") {
+		t.Fatalf("bnlearn DOT output broken: %v", err)
+	}
+
+	// 3. Run the crowd query with the learned network.
+	out, err = exec.Command(filepath.Join(bin, "bayescrowd"),
+		"-data", holes, "-truth", full, "-net", netJSON,
+		"-budget", "20", "-latency", "4", "-alpha", "0.05").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bayescrowd: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "skyline answers:") ||
+		!strings.Contains(string(out), "posted 20 tasks in 4 rounds") {
+		t.Fatalf("bayescrowd output: %s", out)
+	}
+
+	// 4. benchfig -list works.
+	out, err = exec.Command(filepath.Join(bin, "benchfig"), "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchfig -list: %v\n%s", err, out)
+	}
+	for _, want := range []string{"fig2", "table6", "motivation"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("benchfig -list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIFlagValidation(t *testing.T) {
+	bin := buildCmds(t)
+	cases := []struct {
+		name string
+		cmd  string
+		args []string
+	}{
+		{"bayescrowd no data", "bayescrowd", nil},
+		{"bayescrowd both backends", "bayescrowd", []string{"-data", "x.csv", "-truth", "y.csv", "-interactive"}},
+		{"bayescrowd bad strategy", "bayescrowd", []string{"-data", "testdata/movies_incomplete.csv", "-truth", "testdata/movies_truth.csv", "-strategy", "XXX"}},
+		{"datagen no out", "datagen", nil},
+		{"datagen bad kind", "datagen", []string{"-kind", "weird", "-out", "/tmp/x.csv"}},
+		{"bnlearn no args", "bnlearn", nil},
+		{"benchfig no mode", "benchfig", nil},
+		{"benchfig bad exp", "benchfig", []string{"-exp", "fig99"}},
+		{"benchfig bad scale", "benchfig", []string{"-exp", "fig2", "-scale", "huge"}},
+	}
+	for _, tc := range cases {
+		cmd := exec.Command(filepath.Join(bin, tc.cmd), tc.args...)
+		cmd.Dir = "." // repo root for the testdata-relative case
+		if err := cmd.Run(); err == nil {
+			t.Errorf("%s: exited zero on invalid input", tc.name)
+		}
+	}
+}

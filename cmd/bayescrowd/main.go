@@ -1,0 +1,196 @@
+// Command bayescrowd answers a skyline query over an incomplete CSV
+// dataset with crowdsourcing.
+//
+// Two crowd backends are available:
+//
+//   - simulated: -truth points at the complete CSV; simulated workers with
+//     -accuracy answer from it (three per task, majority vote).
+//   - interactive: -interactive prompts the operator on the terminal —
+//     you are the crowd.
+//
+// Examples:
+//
+//	bayescrowd -data holes.csv -truth full.csv -budget 50 -latency 5 -strategy HHS -m 15
+//	bayescrowd -data holes.csv -truth full.csv -net net.json   # reuse a learned network
+//	bayescrowd -data holes.csv -interactive -budget 10 -latency 2
+//
+// CSV format: first line "id,<attr names>", second line
+// "levels,<domain sizes>", then one row per object with "?" for missing
+// cells (see bayescrowd.WriteCSV). Larger values are better.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"bayescrowd"
+)
+
+func main() {
+	var (
+		dataPath    = flag.String("data", "", "incomplete dataset CSV (required)")
+		truthPath   = flag.String("truth", "", "complete ground-truth CSV for the simulated crowd")
+		interactive = flag.Bool("interactive", false, "answer tasks yourself on the terminal")
+		accuracy    = flag.Float64("accuracy", 1.0, "simulated worker accuracy in [0,1]")
+		budget      = flag.Int("budget", 50, "task budget B")
+		latency     = flag.Int("latency", 5, "latency constraint L (rounds)")
+		strategy    = flag.String("strategy", "HHS", "task selection strategy: FBS, UBS or HHS")
+		m           = flag.Int("m", 15, "HHS early-stop parameter")
+		alpha       = flag.Float64("alpha", 0.01, "Get-CTable pruning threshold (0 disables)")
+		netPath     = flag.String("net", "", "Bayesian network JSON from cmd/bnlearn (default: learn from the data)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		verbose     = flag.Bool("v", false, "print per-round progress")
+	)
+	flag.Parse()
+
+	if *dataPath == "" {
+		fail("missing -data")
+	}
+	if (*truthPath == "") == !*interactive {
+		fail("pass exactly one of -truth or -interactive")
+	}
+
+	data, err := readCSV(*dataPath)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var platform bayescrowd.Platform
+	if *interactive {
+		platform = &terminalCrowd{in: bufio.NewScanner(os.Stdin), data: data}
+	} else {
+		truth, err := readCSV(*truthPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		platform = bayescrowd.NewSimulatedCrowd(truth, *accuracy, rand.New(rand.NewSource(*seed)))
+	}
+
+	var strat bayescrowd.Strategy
+	switch strings.ToUpper(*strategy) {
+	case "FBS":
+		strat = bayescrowd.FBS
+	case "UBS":
+		strat = bayescrowd.UBS
+	case "HHS":
+		strat = bayescrowd.HHS
+	default:
+		fail("unknown strategy %q", *strategy)
+	}
+
+	opts := bayescrowd.Options{
+		Alpha:    *alpha,
+		Budget:   *budget,
+		Latency:  *latency,
+		Strategy: strat,
+		M:        *m,
+		Rng:      rand.New(rand.NewSource(*seed + 1)),
+	}
+	if *netPath != "" {
+		f, err := os.Open(*netPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		net, err := bayescrowd.ReadBayesNet(f)
+		f.Close()
+		if err != nil {
+			fail("%v", err)
+		}
+		opts.Net = net
+	}
+	if *verbose {
+		opts.OnRound = func(round, tasks, undecided int) {
+			fmt.Fprintf(os.Stderr, "round %d: %d tasks posted, %d objects undecided\n", round, tasks, undecided)
+		}
+	}
+	res, err := bayescrowd.Run(data, platform, opts)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("posted %d tasks in %d rounds\n\n", res.TasksPosted, res.Rounds)
+	fmt.Println("skyline answers:")
+	for _, i := range res.Answers {
+		conf := "certain"
+		if p, ok := res.Probs[i]; ok {
+			conf = fmt.Sprintf("Pr=%.2f", p)
+		}
+		fmt.Printf("  %s (%s)\n", data.Objects[i].ID, conf)
+	}
+
+	// Undecided non-answers, most promising first — what more budget
+	// would buy.
+	type cand struct {
+		i int
+		p float64
+	}
+	var maybes []cand
+	for i, p := range res.Probs {
+		if p <= 0.5 {
+			maybes = append(maybes, cand{i, p})
+		}
+	}
+	if len(maybes) > 0 {
+		sort.Slice(maybes, func(a, b int) bool { return maybes[a].p > maybes[b].p })
+		fmt.Println("\nstill uncertain (excluded, Pr <= 0.5):")
+		for k, c := range maybes {
+			if k == 5 {
+				fmt.Printf("  ... and %d more\n", len(maybes)-5)
+				break
+			}
+			fmt.Printf("  %s (Pr=%.2f)\n", data.Objects[c.i].ID, c.p)
+		}
+	}
+}
+
+func readCSV(path string) (*bayescrowd.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bayescrowd.ReadCSV(f)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bayescrowd: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// terminalCrowd asks the operator each task on stdin.
+type terminalCrowd struct {
+	in   *bufio.Scanner
+	data *bayescrowd.Dataset
+}
+
+func (t *terminalCrowd) Post(tasks []bayescrowd.Task) []bayescrowd.Answer {
+	answers := make([]bayescrowd.Answer, 0, len(tasks))
+	for _, task := range tasks {
+		fmt.Printf("%v  [</=/>] ", task)
+		for {
+			if !t.in.Scan() {
+				fmt.Println("\n(no input; treating as =)")
+				answers = append(answers, bayescrowd.Answer{Task: task, Rel: bayescrowd.EqualTo})
+				break
+			}
+			switch strings.TrimSpace(t.in.Text()) {
+			case "<":
+				answers = append(answers, bayescrowd.Answer{Task: task, Rel: bayescrowd.LessThan})
+			case "=":
+				answers = append(answers, bayescrowd.Answer{Task: task, Rel: bayescrowd.EqualTo})
+			case ">":
+				answers = append(answers, bayescrowd.Answer{Task: task, Rel: bayescrowd.LargerThan})
+			default:
+				fmt.Print("please answer <, = or >: ")
+				continue
+			}
+			break
+		}
+	}
+	return answers
+}

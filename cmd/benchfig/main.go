@@ -1,0 +1,63 @@
+// Command benchfig regenerates the paper's evaluation tables and figures
+// (Figures 2-11, Table 6) over the simulated substrates.
+//
+// Usage:
+//
+//	benchfig -all                 # every experiment at quick scale
+//	benchfig -exp fig4            # one experiment
+//	benchfig -exp fig5 -scale paper
+//	benchfig -list                # available experiment ids
+//
+// The quick scale (default) shrinks cardinalities so the suite finishes in
+// seconds while preserving the experimental shapes; the paper scale
+// matches §7's dataset sizes and takes much longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bayescrowd/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "", "experiment id to run (see -list)")
+		scaleFlag = flag.String("scale", "quick", `experiment scale: "quick" or "paper"`)
+		allFlag   = flag.Bool("all", false, "run every experiment")
+		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, name := range bench.Names() {
+			fmt.Printf("%-14s %s\n", name, bench.Descriptions[name])
+		}
+		return
+	}
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = bench.Quick()
+	case "paper":
+		scale = bench.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "benchfig: unknown scale %q (want quick or paper)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	switch {
+	case *allFlag:
+		bench.RunAll(os.Stdout, scale)
+	case *expFlag != "":
+		if err := bench.Run(os.Stdout, *expFlag, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchfig: pass -all, -exp <id>, or -list")
+		os.Exit(2)
+	}
+}

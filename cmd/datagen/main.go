@@ -1,0 +1,90 @@
+// Command datagen generates the evaluation datasets as CSV files: the
+// complete ground truth (for the simulated crowd) and an incomplete copy
+// with randomly deleted cells (the query input).
+//
+// Examples:
+//
+//	datagen -kind nba -n 10000 -missing 0.1 -out holes.csv -truth-out full.csv
+//	datagen -kind synthetic -n 100000 -missing 0.1 -out syn.csv
+//	datagen -kind independent -n 1000 -attrs 5 -levels 10 -out ind.csv
+//
+// Kinds: nba (11 correlated box-score stats), synthetic (9 Adult-like
+// attributes), independent, correlated, anticorrelated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"bayescrowd"
+	"bayescrowd/internal/dataset"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "nba", "nba | synthetic | independent | correlated | anticorrelated")
+		n        = flag.Int("n", 10000, "number of objects")
+		attrs    = flag.Int("attrs", 5, "attributes (independent/correlated/anticorrelated only)")
+		levels   = flag.Int("levels", 10, "domain size (independent/correlated/anticorrelated only)")
+		corr     = flag.Float64("corr", 0.7, "latent share (correlated only)")
+		missing  = flag.Float64("missing", 0.1, "missing rate injected into -out")
+		seed     = flag.Int64("seed", 1, "random seed")
+		outPath  = flag.String("out", "", "incomplete dataset CSV path (required)")
+		truthOut = flag.String("truth-out", "", "optional complete ground-truth CSV path")
+	)
+	flag.Parse()
+
+	if *outPath == "" {
+		fmt.Fprintln(os.Stderr, "datagen: missing -out")
+		os.Exit(2)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var truth *bayescrowd.Dataset
+	switch *kind {
+	case "nba":
+		truth = dataset.GenNBA(rng, *n)
+	case "synthetic":
+		truth = dataset.GenAdultSynthetic(rng, *n)
+	case "independent":
+		truth = dataset.GenIndependent(rng, *n, *attrs, *levels)
+	case "correlated":
+		truth = dataset.GenCorrelated(rng, *n, *attrs, *levels, *corr)
+	case "anticorrelated":
+		truth = dataset.GenAntiCorrelated(rng, *n, *attrs, *levels)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	incomplete := truth.InjectMissing(rng, *missing)
+	if err := writeCSV(*outPath, incomplete); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d objects × %d attributes, %.1f%% missing\n",
+		*outPath, incomplete.Len(), incomplete.NumAttrs(), incomplete.MissingRate()*100)
+
+	if *truthOut != "" {
+		if err := writeCSV(*truthOut, truth); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: complete ground truth (skyline size %d)\n",
+			*truthOut, len(bayescrowd.Skyline(truth)))
+	}
+}
+
+func writeCSV(path string, d *bayescrowd.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bayescrowd.WriteCSV(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,93 @@
+// The pipeline example is the "production deployment" walk-through: it
+// exercises every operational feature of the library in the order a real
+// service would —
+//
+//  1. learn the Bayesian network from the incomplete table's complete
+//     rows (no ground-truth model available in production),
+//  2. persist it as JSON and reload it (preprocessing is the expensive
+//     offline step),
+//  3. recruit a heterogeneous worker pool with an accuracy threshold,
+//  4. run a budgeted query with variable task pricing (comparing two
+//     unknown values costs more than checking one against a constant)
+//     and a per-round progress callback.
+//
+// Run it with:
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"bayescrowd"
+	"bayescrowd/internal/dataset"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// In production only the incomplete table exists; the hidden truth
+	// here powers the simulated workers.
+	truth := dataset.GenNBA(rng, 1500)
+	incomplete := truth.InjectMissing(rng, 0.08)
+
+	// 1. Learn the preprocessing model from the data itself.
+	net, err := bayescrowd.LearnBayesNet(incomplete)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("learned Bayesian network: %d nodes, %d edges\n",
+		net.NumNodes(), len(net.Edges()))
+
+	// 2. Persist and reload (stand-in for writing to disk).
+	var stored bytes.Buffer
+	if err := net.WriteJSON(&stored); err != nil {
+		panic(err)
+	}
+	size := stored.Len()
+	reloaded, err := bayescrowd.ReadBayesNet(&stored)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("network serialised to %d bytes and reloaded\n\n", size)
+
+	// 3. A 200-worker marketplace; recruit only the >= 0.9 segment.
+	pool := bayescrowd.NewWorkerPool(truth, 200, 0.55, 1.0, rand.New(rand.NewSource(8)))
+	pool.MinAccuracy = 0.9
+	fmt.Printf("recruited %d of %d workers (mean accuracy %.3f)\n\n",
+		len(pool.Eligible()), len(pool.Workers), pool.MeanEligibleAccuracy())
+
+	// 4. Budgeted query: unknown-vs-unknown comparisons cost 3 units.
+	res, err := bayescrowd.Run(incomplete, pool, bayescrowd.Options{
+		Alpha:    0.02,
+		Budget:   90,
+		Latency:  6,
+		Strategy: bayescrowd.HHS,
+		M:        8,
+		Net:      reloaded,
+		TaskCost: func(t bayescrowd.Task) int {
+			if bayescrowd.IsTwoVariableTask(t) { // both operands unknown
+				return 3
+			}
+			return 1
+		},
+		OnRound: func(round, tasks, undecided int) {
+			fmt.Printf("  round %d: %d tasks, %d objects still undecided\n",
+				round, tasks, undecided)
+		},
+		Rng: rand.New(rand.NewSource(9)),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	want := bayescrowd.Skyline(truth)
+	p, r, f1 := bayescrowd.PRF1(res.Answers, want)
+	fmt.Printf("\nspent %d budget units on %d tasks over %d rounds\n",
+		res.BudgetSpent, res.TasksPosted, res.Rounds)
+	fmt.Printf("precision %.3f  recall %.3f  F1 %.3f (skyline size %d)\n",
+		p, r, f1, len(want))
+	fmt.Printf("busiest workers: %v\n", pool.TopWorkers(3))
+}

@@ -1,0 +1,138 @@
+// The sensors example exercises two aspects the other examples do not:
+// continuous raw measurements that must be discretized (the paper's §3
+// preprocessing), and a smaller-is-better preference order.
+//
+// A fleet of environmental sensor stations reports latency, error rate,
+// power draw and packet loss; unstable radio links leave holes in the
+// report (the paper's §1 motivates incompleteness with exactly this
+// "instable sensor networks" case). Operations wants the skyline of
+// stations — those not worse than some other station on every metric —
+// asking field technicians (the "crowd") to check individual missing
+// readings.
+//
+// Since every metric here is smaller-is-better while the library's
+// dominance order prefers larger codes, the discretized datasets are
+// flipped with bayescrowd.InvertAttrs.
+//
+// Run it with:
+//
+//	go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bayescrowd"
+)
+
+const (
+	numStations = 400
+	levels      = 12
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Raw continuous measurements; NaN marks a reading the station failed
+	// to deliver. Hidden truth keeps every reading for the technicians.
+	rawTruth, rawHoles := genReadings(rng)
+
+	discs := []bayescrowd.Discretizer{
+		bayescrowd.EqualWidth(0, 200, levels),  // latency ms
+		bayescrowd.EqualWidth(0, 0.1, levels),  // error rate
+		bayescrowd.EqualWidth(0, 20, levels),   // power draw W
+		bayescrowd.EqualWidth(0, 0.25, levels), // packet loss
+	}
+
+	truth, err := discretizeInverted(rawTruth, discs)
+	if err != nil {
+		panic(err)
+	}
+	incomplete, err := discretizeInverted(rawHoles, discs)
+	if err != nil {
+		panic(err)
+	}
+
+	want := bayescrowd.Skyline(truth)
+	fmt.Printf("%d stations × %d metrics (smaller is better), %.1f%% readings lost\n",
+		incomplete.Len(), incomplete.NumAttrs(), incomplete.MissingRate()*100)
+	fmt.Printf("true skyline: %d stations\n\n", len(want))
+
+	// Field technicians are nearly always right; each check is expensive,
+	// so the budget is tight: 24 checks in 4 dispatch waves.
+	platform := bayescrowd.NewSimulatedCrowd(truth, 0.98, rand.New(rand.NewSource(5)))
+	res, err := bayescrowd.Run(incomplete, platform, bayescrowd.Options{
+		Alpha:    0.3,
+		Budget:   24,
+		Latency:  4,
+		Strategy: bayescrowd.UBS, // tight budget: buy the most informative checks
+		Rng:      rand.New(rand.NewSource(6)),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	p, r, f1 := bayescrowd.PRF1(res.Answers, want)
+	fmt.Printf("dispatched %d checks in %d waves\n", res.TasksPosted, res.Rounds)
+	fmt.Printf("precision %.3f  recall %.3f  F1 %.3f\n\n", p, r, f1)
+	fmt.Println("skyline stations:")
+	for i, idx := range res.Answers {
+		if i == 10 {
+			fmt.Printf("  ... and %d more\n", len(res.Answers)-10)
+			break
+		}
+		fmt.Printf("  %s\n", incomplete.Objects[idx].ID)
+	}
+}
+
+// genReadings synthesises correlated station metrics (an overloaded
+// station is slow AND lossy) and pokes radio holes into a copy.
+func genReadings(rng *rand.Rand) (truth, holes *bayescrowd.RawTable) {
+	names := []string{"latency_ms", "error_rate", "power_w", "packet_loss"}
+	truth = &bayescrowd.RawTable{Names: names}
+	holes = &bayescrowd.RawTable{Names: names}
+	for i := 0; i < numStations; i++ {
+		load := rng.Float64() // latent congestion
+		row := []float64{
+			200 * clamp01(0.7*load+0.3*rng.Float64()),
+			0.1 * clamp01(0.6*load+0.4*rng.Float64()),
+			20 * clamp01(0.4*load+0.6*rng.Float64()),
+			0.25 * clamp01(0.7*load+0.3*rng.Float64()),
+		}
+		id := fmt.Sprintf("station-%03d", i+1)
+		truth.Rows = append(truth.Rows, row)
+		truth.IDs = append(truth.IDs, id)
+
+		holed := append([]float64(nil), row...)
+		for j := range holed {
+			if rng.Float64() < 0.12 {
+				holed[j] = math.NaN()
+			}
+		}
+		holes.Rows = append(holes.Rows, holed)
+		holes.IDs = append(holes.IDs, id)
+	}
+	return truth, holes
+}
+
+// discretizeInverted bins the raw values and flips the codes so that
+// smaller raw measurements get larger (better) codes.
+func discretizeInverted(raw *bayescrowd.RawTable, discs []bayescrowd.Discretizer) (*bayescrowd.Dataset, error) {
+	d, err := bayescrowd.Discretize(raw, discs)
+	if err != nil {
+		return nil, err
+	}
+	return bayescrowd.InvertAttrs(d, 0, 1, 2, 3), nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

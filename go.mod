@@ -1,0 +1,3 @@
+module bayescrowd
+
+go 1.22

@@ -1,0 +1,48 @@
+package bayesnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks the network parser never panics and that every
+// accepted network is internally consistent (valid topology, normalised
+// CPTs — enforced by New) and inference-safe.
+func FuzzReadJSON(f *testing.F) {
+	var chainJSON bytes.Buffer
+	if err := MustNew([]Node{
+		{Name: "A", Levels: 2, CPT: []float64{0.3, 0.7}},
+		{Name: "B", Levels: 2, Parents: []int{0}, CPT: []float64{0.9, 0.1, 0.2, 0.8}},
+	}).WriteJSON(&chainJSON); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(chainJSON.String())
+	f.Add(`{"nodes":[]}`)
+	f.Add(`{"nodes":[{"name":"A","levels":1,"cpt":[1]}]}`)
+	f.Add(`{"nodes":[{"name":"A","levels":2,"parents":[1],"cpt":[0.5,0.5]},{"name":"B","levels":2,"parents":[0],"cpt":[0.5,0.5]}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"nodes":[{"name":"A","levels":2,"cpt":[0.5,"x"]}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		n, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if n.NumNodes() == 0 {
+			return
+		}
+		// Inference over the accepted network must be well-formed.
+		dist := n.Posterior(0, nil)
+		sum := 0.0
+		for _, p := range dist {
+			if p < 0 || p > 1+1e-9 {
+				t.Fatalf("posterior entry %v outside [0,1]", p)
+			}
+			sum += p
+		}
+		if sum < 1-1e-6 || sum > 1+1e-6 {
+			t.Fatalf("posterior sums to %v", sum)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package bayesnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// netJSON is the serialised form of a Network.
+type netJSON struct {
+	Nodes []nodeJSON `json:"nodes"`
+}
+
+type nodeJSON struct {
+	Name    string    `json:"name"`
+	Levels  int       `json:"levels"`
+	Parents []int     `json:"parents,omitempty"`
+	CPT     []float64 `json:"cpt"`
+}
+
+// WriteJSON serialises the network so a learned structure can be stored
+// and reloaded across runs (the preprocessing step is the expensive part
+// of a deployment).
+func (n *Network) WriteJSON(w io.Writer) error {
+	out := netJSON{Nodes: make([]nodeJSON, len(n.Nodes))}
+	for i, nd := range n.Nodes {
+		out.Nodes[i] = nodeJSON{
+			Name:    nd.Name,
+			Levels:  nd.Levels,
+			Parents: nd.Parents,
+			CPT:     nd.CPT,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a network written by WriteJSON, re-validating structure
+// and CPTs.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var in netJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("bayesnet: decoding network JSON: %w", err)
+	}
+	nodes := make([]Node, len(in.Nodes))
+	for i, nd := range in.Nodes {
+		nodes[i] = Node{
+			Name:    nd.Name,
+			Levels:  nd.Levels,
+			Parents: nd.Parents,
+			CPT:     nd.CPT,
+		}
+	}
+	return New(nodes)
+}
+
+// WriteDOT renders the network structure in Graphviz DOT format for
+// inspection ("which correlations did structure learning find?").
+func (n *Network) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph bayesnet {\n  rankdir=LR;\n  node [shape=box];\n")
+	for i, nd := range n.Nodes {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, fmt.Sprintf("%s (%d)", nd.Name, nd.Levels))
+	}
+	for i, nd := range n.Nodes {
+		parents := append([]int(nil), nd.Parents...)
+		sort.Ints(parents)
+		for _, p := range parents {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", p, i)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Edges returns the directed edge list (parent, child) in deterministic
+// order, for tests and reporting.
+func (n *Network) Edges() [][2]int {
+	var out [][2]int
+	for i, nd := range n.Nodes {
+		parents := append([]int(nil), nd.Parents...)
+		sort.Ints(parents)
+		for _, p := range parents {
+			out = append(out, [2]int{p, i})
+		}
+	}
+	return out
+}

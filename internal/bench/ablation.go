@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"math/rand"
+
+	"bayescrowd/internal/core"
+	"bayescrowd/internal/dae"
+)
+
+// Ablation — beyond the paper's own sweeps (DESIGN.md §6): quantifies two
+// framework-level design choices on the NBA defaults.
+//
+//  1. Answer propagation: with inference on, one answer narrows a
+//     variable for every condition mentioning it (plus interval-based
+//     var-vs-var deductions); with it off, an answer decides only the
+//     asked expression — the way CrowdSky consumes preferences. Measured
+//     as tasks/rounds to fully resolve the query (no budget cap).
+//  2. Data correlation: Bayesian-network posteriors versus independent
+//     empirical marginals for the missing values. Measured as F1 under
+//     the default budget.
+func Ablation(s Scale) []*Table {
+	e := nbaEnv(s, s.NBASize, s.MissingRate)
+
+	// (1) Tasks to completion with and without answer propagation.
+	const roundsCap = 1 << 20
+	unlimited := func(noInference bool) outcome {
+		opt := core.Options{
+			Alpha:    s.NBAAlpha,
+			Budget:   s.Fig4PerRound * roundsCap,
+			Latency:  roundsCap,
+			Strategy: core.FBS,
+			M:        s.NBAM,
+
+			NoInference: noInference,
+		}
+		return runBayes(e, opt, 1.0, s.Seed)
+	}
+	prop := &Table{
+		Title:  "Ablation (NBA): answer propagation — tasks to full resolution, no budget cap",
+		Header: []string{"variant", "tasks", "rounds", "F1"},
+	}
+	full := unlimited(false)
+	none := unlimited(true)
+	prop.AddRow("propagation on (BayesCrowd)", fmt.Sprintf("%d", full.tasks), fmt.Sprintf("%d", full.rounds), fmtF(full.f1))
+	prop.AddRow("propagation off (ask-everything)", fmt.Sprintf("%d", none.tasks), fmt.Sprintf("%d", none.rounds), fmtF(none.f1))
+
+	// (2) BN posteriors vs independent marginals under the default budget.
+	marginalDists, err := core.Preprocess(e.incomplete, core.Options{MarginalsOnly: true})
+	if err != nil {
+		panic(err)
+	}
+	marginalEnv := &env{
+		truth: e.truth, incomplete: e.incomplete, net: e.net,
+		sky: e.sky, distsOnce: marginalDists,
+	}
+	model, err := dae.Train(e.incomplete, dae.Options{Rng: rand.New(rand.NewSource(s.Seed))})
+	if err != nil {
+		panic(err)
+	}
+	daeDists, err := model.Distributions(e.incomplete)
+	if err != nil {
+		panic(err)
+	}
+	daeEnv := &env{
+		truth: e.truth, incomplete: e.incomplete, net: e.net,
+		sky: e.sky, distsOnce: daeDists,
+	}
+
+	corr := &Table{
+		Title:  "Ablation (NBA): missing-value model — F1 under the default budget",
+		Header: []string{"model", "FBS", "UBS", "HHS"},
+	}
+	bn := make([]string, 3)
+	marg := make([]string, 3)
+	auto := make([]string, 3)
+	for i, strat := range strategies {
+		bn[i] = fmtF(runBayesReps(e, nbaOpts(s, strat), 1.0, s.Seed, s.Reps).f1)
+		marg[i] = fmtF(runBayesReps(marginalEnv, nbaOpts(s, strat), 1.0, s.Seed, s.Reps).f1)
+		auto[i] = fmtF(runBayesReps(daeEnv, nbaOpts(s, strat), 1.0, s.Seed, s.Reps).f1)
+	}
+	corr.AddRow("Bayesian-network posteriors", bn[0], bn[1], bn[2])
+	corr.AddRow("denoising autoencoder (§3 alt.)", auto[0], auto[1], auto[2])
+	corr.AddRow("independent marginals", marg[0], marg[1], marg[2])
+	return []*Table{prop, corr}
+}

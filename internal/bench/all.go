@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Descriptions gives a one-line summary per experiment id for -list.
+var Descriptions = map[string]string{
+	"fig2":          "c-table construction: Get-CTable vs pairwise Baseline, by missing rate",
+	"fig3":          "probability computation: ADPLL vs Naive enumeration, by missing rate",
+	"fig3-ablation": "ADPLL design choices + ApproxCount/MonteCarlo comparators",
+	"fig4":          "BayesCrowd vs CrowdSky vs unary [22]: time, #tasks, #rounds, by cardinality",
+	"fig5":          "time and F1 vs budget, three strategies, both datasets",
+	"fig6":          "time and F1 vs missing rate",
+	"fig7":          "effect of the HHS parameter m",
+	"fig8":          "effect of the pruning threshold alpha",
+	"fig9":          "effect of worker accuracy",
+	"fig10":         "effect of latency (rounds), Synthetic",
+	"fig11":         "effect of data cardinality, Synthetic",
+	"table6":        "simulated AMT practicality study",
+	"ablation":      "answer propagation on/off; BN vs autoencoder vs marginals",
+	"motivation":    "machine-only ISkyline vs inference-only vs budgeted BayesCrowd",
+}
+
+// Experiments maps experiment ids (as accepted by cmd/benchfig) to their
+// runners.
+var Experiments = map[string]func(Scale) []*Table{
+	"fig2":          Fig2,
+	"fig3":          Fig3,
+	"fig3-ablation": Fig3Ablation,
+	"fig4":          Fig4,
+	"fig5":          Fig5,
+	"fig6":          Fig6,
+	"fig7":          Fig7,
+	"fig8":          Fig8,
+	"fig9":          Fig9,
+	"fig10":         Fig10,
+	"fig11":         Fig11,
+	"table6":        Table6,
+	"ablation":      Ablation,
+	"motivation":    Motivation,
+}
+
+// Names returns the experiment ids in stable presentation order.
+func Names() []string {
+	order := map[string]int{
+		"fig2": 0, "fig3": 1, "fig3-ablation": 2, "fig4": 3, "fig5": 4,
+		"fig6": 5, "fig7": 6, "fig8": 7, "fig9": 8, "fig10": 9,
+		"fig11": 10, "table6": 11, "ablation": 12, "motivation": 13,
+	}
+	names := make([]string, 0, len(Experiments))
+	for n := range Experiments {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(a, b int) bool { return order[names[a]] < order[names[b]] })
+	return names
+}
+
+// RunAll executes every experiment at the given scale, streaming tables to
+// w as they complete.
+func RunAll(w io.Writer, s Scale) {
+	for _, name := range Names() {
+		Run(w, name, s)
+	}
+}
+
+// Run executes one experiment by id and prints its tables.
+func Run(w io.Writer, name string, s Scale) error {
+	exp, ok := Experiments[name]
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names())
+	}
+	fmt.Fprintf(w, "# %s (scale=%s)\n\n", name, s.Name)
+	for _, t := range exp(s) {
+		t.Fprint(w)
+	}
+	return nil
+}

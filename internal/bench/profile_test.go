@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"testing"
+
+	"bayescrowd/internal/core"
+)
+
+// BenchmarkFig4FBS400 isolates the BayesCrowd side of the Figure 4
+// comparison for profiling.
+func BenchmarkFig4FBS400(b *testing.B) {
+	s := Quick()
+	e := fig4Env(s, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		const roundsCap = 1 << 20
+		runBayes(e, core.Options{
+			Alpha:    s.NBAAlpha,
+			Budget:   s.Fig4PerRound * roundsCap,
+			Latency:  roundsCap,
+			Strategy: core.FBS,
+			M:        s.NBAM,
+		}, 1.0, 1)
+	}
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+
+	"bayescrowd/internal/core"
+)
+
+// sweepTables runs the three strategies for every sweep point and emits
+// the paper's two panels per dataset: CPU time and F1 accuracy.
+func sweepTables(title, param string, points []string, run func(point int, strat core.Strategy) outcome) []*Table {
+	timeT := &Table{
+		Title:  title + " — CPU time",
+		Header: []string{param, "FBS", "UBS", "HHS"},
+	}
+	f1T := &Table{
+		Title:  title + " — F1 accuracy",
+		Header: []string{param, "FBS", "UBS", "HHS"},
+	}
+	for i, label := range points {
+		times := make([]string, 3)
+		f1s := make([]string, 3)
+		for si, strat := range strategies {
+			o := run(i, strat)
+			times[si] = fmtDur(o.elapsed)
+			f1s[si] = fmtF(o.f1)
+		}
+		timeT.AddRow(label, times[0], times[1], times[2])
+		f1T.AddRow(label, f1s[0], f1s[1], f1s[2])
+	}
+	return []*Table{timeT, f1T}
+}
+
+func labelsInt(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}
+
+func labelsFloat(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmtF(x)
+	}
+	return out
+}
+
+// Fig5 — BayesCrowd cost vs budget (§7.4): accuracy climbs and time grows
+// with budget; FBS fastest, UBS most accurate, HHS between.
+func Fig5(s Scale) []*Table {
+	var out []*Table
+	nba := nbaEnv(s, s.NBASize, s.MissingRate)
+	out = append(out, sweepTables("Fig 5 (NBA): cost vs budget", "budget", labelsInt(s.NBABudgets),
+		func(i int, strat core.Strategy) outcome {
+			opt := nbaOpts(s, strat)
+			opt.Budget = s.NBABudgets[i]
+			return runBayesReps(nba, opt, 1.0, s.Seed, s.Reps)
+		})...)
+	syn := synEnv(s, s.SynSize, s.MissingRate)
+	out = append(out, sweepTables("Fig 5 (Synthetic): cost vs budget", "budget", labelsInt(s.SynBudgets),
+		func(i int, strat core.Strategy) outcome {
+			opt := synOpts(s, strat)
+			opt.Budget = s.SynBudgets[i]
+			return runBayesReps(syn, opt, 1.0, s.Seed, s.Reps)
+		})...)
+	return out
+}
+
+// Fig6 — BayesCrowd cost vs missing rate (§7.4): time grows and accuracy
+// drops as more values go missing under a fixed budget.
+func Fig6(s Scale) []*Table {
+	var out []*Table
+	out = append(out, sweepTables("Fig 6 (NBA): cost vs missing rate", "missing", labelsFloat(s.MissingRates),
+		func(i int, strat core.Strategy) outcome {
+			e := nbaEnv(s, s.NBASize, s.MissingRates[i])
+			return runBayesReps(e, nbaOpts(s, strat), 1.0, s.Seed, s.Reps)
+		})...)
+	out = append(out, sweepTables("Fig 6 (Synthetic): cost vs missing rate", "missing", labelsFloat(s.MissingRates),
+		func(i int, strat core.Strategy) outcome {
+			e := synEnv(s, s.SynSize, s.MissingRates[i])
+			return runBayesReps(e, synOpts(s, strat), 1.0, s.Seed, s.Reps)
+		})...)
+	return out
+}
+
+// Fig7 — effect of the HHS parameter m (§7.4): HHS accuracy approaches
+// UBS as m grows, at increasing time cost; FBS and UBS are flat
+// references.
+func Fig7(s Scale) []*Table {
+	var out []*Table
+	for _, ds := range []struct {
+		name string
+		e    *env
+		opts func(core.Strategy) core.Options
+	}{
+		{"NBA", nbaEnv(s, s.NBASize, s.MissingRate), func(st core.Strategy) core.Options { return nbaOpts(s, st) }},
+		{"Synthetic", synEnv(s, s.SynSize, s.MissingRate), func(st core.Strategy) core.Options { return synOpts(s, st) }},
+	} {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 7 (%s): effect of parameter m on HHS", ds.name),
+			Header: []string{"m", "HHS time", "HHS F1"},
+		}
+		for _, m := range s.Ms {
+			opt := ds.opts(core.HHS)
+			opt.M = m
+			o := runBayesReps(ds.e, opt, 1.0, s.Seed, s.Reps)
+			t.AddRow(fmt.Sprintf("%d", m), fmtDur(o.elapsed), fmtF(o.f1))
+		}
+		fbs := runBayesReps(ds.e, ds.opts(core.FBS), 1.0, s.Seed, s.Reps)
+		ubs := runBayesReps(ds.e, ds.opts(core.UBS), 1.0, s.Seed, s.Reps)
+		t.AddRow("FBS(ref)", fmtDur(fbs.elapsed), fmtF(fbs.f1))
+		t.AddRow("UBS(ref)", fmtDur(ubs.elapsed), fmtF(ubs.f1))
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig8 — effect of the pruning threshold α (§7.4): larger α keeps more
+// complex conditions, costing time but improving accuracy slightly.
+func Fig8(s Scale) []*Table {
+	var out []*Table
+	nba := nbaEnv(s, s.NBASize, s.MissingRate)
+	out = append(out, sweepTables("Fig 8 (NBA): effect of alpha", "alpha", labelsFloat(s.Alphas),
+		func(i int, strat core.Strategy) outcome {
+			opt := nbaOpts(s, strat)
+			opt.Alpha = s.Alphas[i]
+			return runBayesReps(nba, opt, 1.0, s.Seed, s.Reps)
+		})...)
+	syn := synEnv(s, s.SynSize, s.MissingRate)
+	out = append(out, sweepTables("Fig 8 (Synthetic): effect of alpha", "alpha", labelsFloat(s.Alphas),
+		func(i int, strat core.Strategy) outcome {
+			opt := synOpts(s, strat)
+			opt.Alpha = s.Alphas[i]
+			return runBayesReps(syn, opt, 1.0, s.Seed, s.Reps)
+		})...)
+	return out
+}
+
+// Fig9 — effect of worker accuracy (§7.4): query accuracy rises with
+// worker accuracy; time is insensitive to it.
+func Fig9(s Scale) []*Table {
+	var out []*Table
+	nba := nbaEnv(s, s.NBASize, s.MissingRate)
+	out = append(out, sweepTables("Fig 9 (NBA): effect of worker accuracy", "accuracy", labelsFloat(s.Accuracies),
+		func(i int, strat core.Strategy) outcome {
+			return runBayesReps(nba, nbaOpts(s, strat), s.Accuracies[i], s.Seed, s.Reps)
+		})...)
+	syn := synEnv(s, s.SynSize, s.MissingRate)
+	out = append(out, sweepTables("Fig 9 (Synthetic): effect of worker accuracy", "accuracy", labelsFloat(s.Accuracies),
+		func(i int, strat core.Strategy) outcome {
+			return runBayesReps(syn, synOpts(s, strat), s.Accuracies[i], s.Seed, s.Reps)
+		})...)
+	return out
+}
+
+// Fig10 — effect of latency (§7.4, Synthetic): with a fixed budget, both
+// time and accuracy are largely insensitive to the number of rounds.
+func Fig10(s Scale) []*Table {
+	syn := synEnv(s, s.SynSize, s.MissingRate)
+	return sweepTables("Fig 10 (Synthetic): effect of latency", "rounds", labelsInt(s.Latencies),
+		func(i int, strat core.Strategy) outcome {
+			opt := synOpts(s, strat)
+			opt.Latency = s.Latencies[i]
+			return runBayesReps(syn, opt, 1.0, s.Seed, s.Reps)
+		})
+}
+
+// Fig11 — effect of data cardinality (§7.4, Synthetic): time grows with
+// cardinality while accuracy slowly degrades under the fixed budget.
+func Fig11(s Scale) []*Table {
+	return sweepTables("Fig 11 (Synthetic): effect of data cardinality", "|O|", labelsInt(s.SynCardinalities),
+		func(i int, strat core.Strategy) outcome {
+			e := synEnv(s, s.SynCardinalities[i], s.MissingRate)
+			return runBayesReps(e, synOpts(s, strat), 1.0, s.Seed, s.Reps)
+		})
+}
+
+// Table6 — the live-AMT practicality study (§7.5), simulated with
+// high-accuracy workers on the NBA defaults. Paper values: FBS 0.956,
+// UBS 0.979, HHS 0.978.
+func Table6(s Scale) []*Table {
+	e := nbaEnv(s, s.NBASize, s.MissingRate)
+	t := &Table{
+		Title:  fmt.Sprintf("Table 6: simulated AMT study (worker accuracy %.2f)", s.AMTAccuracy),
+		Header: []string{"", "BayesCrowd-FBS", "BayesCrowd-UBS", "BayesCrowd-HHS"},
+	}
+	f1s := make([]string, 3)
+	for i, strat := range strategies {
+		o := runBayesReps(e, nbaOpts(s, strat), s.AMTAccuracy, s.Seed+int64(i), s.Reps)
+		f1s[i] = fmtF(o.f1)
+	}
+	t.AddRow("F1 score", f1s[0], f1s[1], f1s[2])
+	t.Notes = append(t.Notes, "paper (live AMT): FBS 0.956, UBS 0.979, HHS 0.978")
+	return []*Table{t}
+}

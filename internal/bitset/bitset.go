@@ -1,0 +1,199 @@
+// Package bitset provides a dense, fixed-capacity bit set backed by
+// []uint64 words.
+//
+// It powers the fast dominator-set derivation of Get-CTable (paper §4.1,
+// §7.1): per-dimension candidate sets are materialised as bitsets and the
+// dominator set D(o) is the bitwise AND of d of them, which is dramatically
+// cheaper than pairwise object comparisons.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set. The zero value is an empty set of
+// capacity zero; use New to create a set that can hold n bits.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty Set with capacity for bits 0..n-1.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i to 1.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is 1.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// SetAll sets every bit in the capacity range.
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// ClearAll resets every bit to 0.
+func (s *Set) ClearAll() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// trim zeroes the unused high bits of the last word so Count and Equal
+// stay correct after whole-word operations.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And replaces s with s ∩ other. The sets must have equal capacity.
+func (s *Set) And(other *Set) {
+	s.sameCap(other)
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+}
+
+// Or replaces s with s ∪ other. The sets must have equal capacity.
+func (s *Set) Or(other *Set) {
+	s.sameCap(other)
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+	}
+}
+
+// AndNot replaces s with s \ other. The sets must have equal capacity.
+func (s *Set) AndNot(other *Set) {
+	s.sameCap(other)
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+}
+
+func (s *Set) sameCap(other *Set) {
+	if s.n != other.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, other.n))
+	}
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of other. The sets must have
+// equal capacity.
+func (s *Set) CopyFrom(other *Set) {
+	s.sameCap(other)
+	copy(s.words, other.words)
+}
+
+// Equal reports whether s and other hold exactly the same bits and
+// capacity.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false the iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the indices of all set bits in ascending order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the set as {i, j, ...} for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

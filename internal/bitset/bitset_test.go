@@ -1,0 +1,276 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%d) did not panic", i)
+				}
+			}()
+			s.Set(i)
+		}()
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetAllRespectsCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.SetAll()
+		if got := s.Count(); got != n {
+			t.Errorf("New(%d).SetAll().Count() = %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	s := New(100)
+	s.SetAll()
+	s.ClearAll()
+	if s.Any() {
+		t.Fatal("Any() true after ClearAll")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d after ClearAll", s.Count())
+	}
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	for i := 0; i < 70; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 70; i += 3 {
+		b.Set(i)
+	}
+
+	and := a.Clone()
+	and.And(b)
+	for i := 0; i < 70; i++ {
+		want := i%2 == 0 && i%3 == 0
+		if and.Test(i) != want {
+			t.Fatalf("And bit %d = %v, want %v", i, and.Test(i), want)
+		}
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	for i := 0; i < 70; i++ {
+		want := i%2 == 0 || i%3 == 0
+		if or.Test(i) != want {
+			t.Fatalf("Or bit %d = %v, want %v", i, or.Test(i), want)
+		}
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	for i := 0; i < 70; i++ {
+		want := i%2 == 0 && i%3 != 0
+		if diff.Test(i) != want {
+			t.Fatalf("AndNot bit %d = %v, want %v", i, diff.Test(i), want)
+		}
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	a, b := New(64), New(65)
+	defer func() {
+		if recover() == nil {
+			t.Error("And with mismatched capacity did not panic")
+		}
+	}()
+	a.And(b)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(10)
+	a.Set(3)
+	c := a.Clone()
+	c.Set(4)
+	if a.Test(4) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Test(3) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(100), New(100)
+	b.Set(42)
+	b.Set(99)
+	a.Set(1)
+	a.CopyFrom(b)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom did not make sets equal")
+	}
+	if a.Test(1) {
+		t.Fatal("CopyFrom kept stale bit")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(64), New(64)
+	if !a.Equal(b) {
+		t.Fatal("fresh equal-capacity sets not Equal")
+	}
+	a.Set(5)
+	if a.Equal(b) {
+		t.Fatal("different sets reported Equal")
+	}
+	b.Set(5)
+	if !a.Equal(b) {
+		t.Fatal("same sets reported unequal")
+	}
+	if a.Equal(New(63)) {
+		t.Fatal("different capacities reported Equal")
+	}
+}
+
+func TestMembersAndForEachOrder(t *testing.T) {
+	s := New(200)
+	want := []int{0, 7, 63, 64, 65, 128, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	got := s.Members()
+	if len(got) != len(want) {
+		t.Fatalf("Members len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(100)
+	for i := 0; i < 100; i++ {
+		s.Set(i)
+	}
+	n := 0
+	s.ForEach(func(i int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("ForEach visited %d bits after early stop, want 5", n)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	if got := s.String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+	s.Set(1)
+	s.Set(9)
+	if got := s.String(); got != "{1, 9}" {
+		t.Fatalf("String = %q, want {1, 9}", got)
+	}
+}
+
+// Property: Count equals the number of Test-true positions, and And/Or
+// behave like set intersection/union against a reference map
+// implementation.
+func TestQuickAgainstMapReference(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		ma := map[int]bool{}
+		mb := map[int]bool{}
+		for _, x := range xs {
+			a.Set(int(x))
+			ma[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+			mb[int(y)] = true
+		}
+		if a.Count() != len(ma) || b.Count() != len(mb) {
+			return false
+		}
+		and := a.Clone()
+		and.And(b)
+		nInter := 0
+		for k := range ma {
+			if mb[k] {
+				nInter++
+			}
+		}
+		if and.Count() != nInter {
+			return false
+		}
+		or := a.Clone()
+		or.Or(b)
+		un := map[int]bool{}
+		for k := range ma {
+			un[k] = true
+		}
+		for k := range mb {
+			un[k] = true
+		}
+		return or.Count() == len(un)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAnd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a, c := New(100000), New(100000)
+	for i := 0; i < 5000; i++ {
+		a.Set(rng.Intn(100000))
+		c.Set(rng.Intn(100000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := a.Clone()
+		d.And(c)
+	}
+}

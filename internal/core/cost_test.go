@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/dataset"
+)
+
+// varVarCost prices variable-vs-variable comparisons (two unknowns) at
+// three units and constant comparisons at one — the "variable task
+// difficulties" case of §6.1.
+func varVarCost(t crowd.Task) int {
+	if t.Expr.Kind == ctable.VarGTVar {
+		return 3
+	}
+	return 1
+}
+
+func TestVariableTaskCostsRespectBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	truth := dataset.GenIndependent(rng, 150, 4, 8)
+	incomplete := truth.InjectMissing(rng, 0.2)
+
+	res, err := Run(incomplete, crowd.NewSimulated(truth, 1.0, nil), Options{
+		Alpha: 0.3, Budget: 30, Latency: 5, Strategy: FBS,
+		MarginalsOnly: true,
+		TaskCost:      varVarCost,
+		Rng:           rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 5 {
+		t.Fatalf("Rounds = %d > latency 5", res.Rounds)
+	}
+	// Variable pricing means fewer tasks fit the same budget.
+	if res.TasksPosted > res.BudgetSpent {
+		t.Fatalf("TasksPosted %d > BudgetSpent %d with costs >= 1", res.TasksPosted, res.BudgetSpent)
+	}
+	// Overshoot is possible only via a first-task-of-round exception:
+	// at most (maxCost-1) per round.
+	if res.BudgetSpent > 30+5*2 {
+		t.Fatalf("BudgetSpent = %d far beyond budget 30", res.BudgetSpent)
+	}
+}
+
+func TestUnitCostsMatchTaskCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	truth := dataset.GenIndependent(rng, 100, 3, 8)
+	incomplete := truth.InjectMissing(rng, 0.15)
+	res, err := Run(incomplete, crowd.NewSimulated(truth, 1.0, nil), Options{
+		Alpha: 0.3, Budget: 20, Latency: 4, Strategy: FBS,
+		MarginalsOnly: true,
+		Rng:           rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetSpent != res.TasksPosted {
+		t.Fatalf("unit pricing: BudgetSpent %d != TasksPosted %d", res.BudgetSpent, res.TasksPosted)
+	}
+	if res.BudgetSpent > 20 {
+		t.Fatalf("BudgetSpent %d > budget", res.BudgetSpent)
+	}
+}
+
+func TestExpensiveTasksReduceThroughput(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	truth := dataset.GenIndependent(rng, 150, 4, 8)
+	incomplete := truth.InjectMissing(rng, 0.2)
+
+	run := func(cost func(crowd.Task) int) int {
+		res, err := Run(incomplete, crowd.NewSimulated(truth, 1.0, nil), Options{
+			Alpha: 0.3, Budget: 24, Latency: 4, Strategy: FBS,
+			MarginalsOnly: true,
+			TaskCost:      cost,
+			Rng:           rand.New(rand.NewSource(94)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TasksPosted
+	}
+	cheap := run(nil)
+	pricey := run(func(crowd.Task) int { return 4 })
+	if pricey >= cheap {
+		t.Fatalf("4x task price did not reduce tasks: %d vs %d", pricey, cheap)
+	}
+}
+
+func TestNonPositiveCostPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	truth := dataset.GenIndependent(rng, 50, 3, 6)
+	incomplete := truth.InjectMissing(rng, 0.2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero task cost did not panic")
+		}
+	}()
+	_, _ = Run(incomplete, crowd.NewSimulated(truth, 1.0, nil), Options{
+		Alpha: 0.3, Budget: 10, Latency: 2, Strategy: FBS,
+		MarginalsOnly: true,
+		TaskCost:      func(crowd.Task) int { return 0 },
+		Rng:           rng,
+	})
+}

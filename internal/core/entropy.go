@@ -1,0 +1,33 @@
+package core
+
+import (
+	"math"
+
+	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/prob"
+)
+
+// Entropy returns the Shannon entropy of an object's answer-membership
+// uncertainty (Eq. 3): H = −(p·log₂p + (1−p)·log₂(1−p)), with the usual
+// convention 0·log 0 = 0.
+func Entropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -(p*math.Log2(p) + (1-p)*math.Log2(1-p))
+}
+
+// Utility returns the marginal utility G(o,e) of crowdsourcing expression
+// e from the condition (Definition 6, Eq. 4-5): the expected entropy
+// reduction of the object's membership after learning e's truth value.
+func Utility(ev *prob.Evaluator, cond *ctable.Condition, e ctable.Expr) float64 {
+	return UtilityWith(ev, cond, e, ev.Prob(cond))
+}
+
+// UtilityWith is Utility with Pr(φ) supplied by the caller, saving one
+// model-counting run per expression when scanning a condition.
+func UtilityWith(ev *prob.Evaluator, cond *ctable.Condition, e ctable.Expr, pPhi float64) float64 {
+	pe, _, pTrue, pFalse := ev.CondProbsWith(cond, e, pPhi)
+	expected := pe*Entropy(pTrue) + (1-pe)*Entropy(pFalse)
+	return Entropy(pPhi) - expected
+}

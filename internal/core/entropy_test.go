@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/prob"
+)
+
+func TestEntropyValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 0}, {1, 0}, {0.5, 1},
+		{0.8, 0.721928}, {0.153, 0.617297}, {0.823, 0.673470},
+	}
+	for _, tc := range cases {
+		if got := Entropy(tc.p); math.Abs(got-tc.want) > 1e-5 {
+			t.Errorf("Entropy(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestEntropyProperties(t *testing.T) {
+	f := func(x float64) bool {
+		p := math.Mod(math.Abs(x), 1)
+		h := Entropy(p)
+		if h < 0 || h > 1 {
+			return false
+		}
+		// Symmetry.
+		return math.Abs(h-Entropy(1-p)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// example3Dists are the distributions assumed by the paper's Examples 3-4.
+func example3Dists() prob.Dists {
+	uniform := func(n int) []float64 {
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = 1 / float64(n)
+		}
+		return d
+	}
+	return prob.Dists{
+		{Obj: 4, Attr: 1}: uniform(10),                    // Var(o5,a2)
+		{Obj: 4, Attr: 2}: uniform(8),                     // Var(o5,a3)
+		{Obj: 4, Attr: 3}: {0.1, 0.1, 0.2, 0.2, 0.3, 0.1}, // Var(o5,a4)
+		{Obj: 1, Attr: 1}: uniform(10),                    // Var(o2,a2)
+	}
+}
+
+// TestPaperExample4Utilities checks the marginal utilities of φ(o1)'s
+// three expressions against the values printed in Example 4:
+// G(o1,e1)=0.072, G(o1,e2)=0.157, G(o1,e3)=0.322.
+func TestPaperExample4Utilities(t *testing.T) {
+	ev := prob.NewEvaluator(example3Dists())
+	x2 := ctable.Var{Obj: 4, Attr: 1}
+	x3 := ctable.Var{Obj: 4, Attr: 2}
+	x4 := ctable.Var{Obj: 4, Attr: 3}
+	phiO1 := ctable.FromClauses([][]ctable.Expr{{
+		ctable.LTConst(x2, 2), ctable.LTConst(x3, 3), ctable.LTConst(x4, 4),
+	}})
+
+	cases := []struct {
+		e    ctable.Expr
+		want float64
+	}{
+		{ctable.LTConst(x2, 2), 0.072},
+		{ctable.LTConst(x3, 3), 0.157},
+		{ctable.LTConst(x4, 4), 0.322},
+	}
+	for _, tc := range cases {
+		if got := Utility(ev, phiO1, tc.e); math.Abs(got-tc.want) > 0.002 {
+			t.Errorf("G(o1, %v) = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+// TestPaperExample4Entropies checks H(o1)=0.72, H(o4)=0.62, H(o5)=0.67.
+func TestPaperExample4Entropies(t *testing.T) {
+	ev := prob.NewEvaluator(example3Dists())
+	x2 := ctable.Var{Obj: 4, Attr: 1}
+	x3 := ctable.Var{Obj: 4, Attr: 2}
+	x4 := ctable.Var{Obj: 4, Attr: 3}
+	y := ctable.Var{Obj: 1, Attr: 1}
+
+	phiO1 := ctable.FromClauses([][]ctable.Expr{{
+		ctable.LTConst(x2, 2), ctable.LTConst(x3, 3), ctable.LTConst(x4, 4),
+	}})
+	phiO4 := ctable.FromClauses([][]ctable.Expr{
+		{ctable.LTConst(y, 3)},
+		{ctable.LTConst(x2, 3), ctable.LTConst(x3, 1), ctable.LTConst(x4, 2)},
+	})
+	phiO5 := ctable.FromClauses([][]ctable.Expr{
+		{ctable.GTConst(x2, 2), ctable.GTConst(x3, 3), ctable.GTConst(x4, 4)},
+		{ctable.GTVar(x2, y), ctable.GTConst(x3, 2), ctable.GTConst(x4, 2)},
+	})
+
+	cases := []struct {
+		name string
+		cond *ctable.Condition
+		want float64
+	}{
+		{"H(o1)", phiO1, 0.72},
+		{"H(o4)", phiO4, 0.62},
+		{"H(o5)", phiO5, 0.67},
+	}
+	for _, tc := range cases {
+		if got := Entropy(ev.Prob(tc.cond)); math.Abs(got-tc.want) > 0.005 {
+			t.Errorf("%s = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestUtilityNonNegativeProperty(t *testing.T) {
+	// Information gain is non-negative for any expression of a condition.
+	ev := prob.NewEvaluator(example3Dists())
+	x2 := ctable.Var{Obj: 4, Attr: 1}
+	x3 := ctable.Var{Obj: 4, Attr: 2}
+	cond := ctable.FromClauses([][]ctable.Expr{
+		{ctable.GTConst(x2, 4), ctable.LTConst(x3, 6)},
+		{ctable.LTConst(x2, 8)},
+	})
+	for _, e := range cond.Exprs() {
+		if g := Utility(ev, cond, e); g < -1e-9 {
+			t.Errorf("Utility(%v) = %v, want >= 0", e, g)
+		}
+	}
+}

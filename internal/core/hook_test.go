@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/dataset"
+)
+
+func TestOnRoundHook(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	truth := dataset.GenIndependent(rng, 120, 4, 8)
+	incomplete := truth.InjectMissing(rng, 0.15)
+
+	type event struct{ round, tasks, undecided int }
+	var events []event
+	res, err := Run(incomplete, crowd.NewSimulated(truth, 1.0, nil), Options{
+		Alpha: 0.3, Budget: 20, Latency: 4, Strategy: FBS,
+		MarginalsOnly: true,
+		Rng:           rng,
+		OnRound: func(round, tasks, undecided int) {
+			events = append(events, event{round, tasks, undecided})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != res.Rounds {
+		t.Fatalf("hook fired %d times for %d rounds", len(events), res.Rounds)
+	}
+	total := 0
+	for i, e := range events {
+		if e.round != i+1 {
+			t.Fatalf("event %d has round %d", i, e.round)
+		}
+		if e.tasks <= 0 || e.tasks > 5 { // μ = ⌈20/4⌉ = 5
+			t.Fatalf("event %d posted %d tasks", i, e.tasks)
+		}
+		if e.undecided < 0 {
+			t.Fatalf("event %d undecided %d", i, e.undecided)
+		}
+		total += e.tasks
+	}
+	if total != res.TasksPosted {
+		t.Fatalf("hook saw %d tasks, result has %d", total, res.TasksPosted)
+	}
+	// Undecided counts must be non-increasing with perfect workers.
+	for i := 1; i < len(events); i++ {
+		if events[i].undecided > events[i-1].undecided {
+			t.Fatalf("undecided grew: %v", events)
+		}
+	}
+}

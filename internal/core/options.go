@@ -1,0 +1,144 @@
+// Package core implements the BayesCrowd framework (paper Algorithm 1):
+// the modeling phase builds the c-table, the crowdsourcing phase
+// iteratively selects conflict-free task batches under budget and latency
+// constraints, posts them, absorbs the answers, and infers the query
+// result set.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bayescrowd/internal/bayesnet"
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/ctable"
+)
+
+// Strategy selects which expression of a chosen object's condition to
+// crowdsource (paper §6.2).
+type Strategy int
+
+const (
+	// FBS — frequency-based strategy: the most frequent expression among
+	// the conditions of the chosen top-k objects.
+	FBS Strategy = iota
+	// UBS — utility-based strategy: the expression with the highest
+	// marginal utility (expected information gain, Eq. 4-5).
+	UBS
+	// HHS — hybrid heuristic strategy (Algorithm 4): visit expressions in
+	// frequency order, keep the best utility seen, and stop after m
+	// consecutive non-improving expressions.
+	HHS
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case FBS:
+		return "FBS"
+	case UBS:
+		return "UBS"
+	case HHS:
+		return "HHS"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a BayesCrowd run. The zero value is not usable; use
+// the documented defaults from the paper (§7): NBA α=0.003, B=50, m=15,
+// L=5; Synthetic α=0.01, B=1000, m=50, L=10.
+type Options struct {
+	// Alpha is the Get-CTable pruning threshold (Algorithm 2); <= 0
+	// disables pruning.
+	Alpha float64
+	// Budget is B, the total number of affordable tasks. It must be
+	// positive.
+	Budget int
+	// Latency is L, the maximum number of task-selection rounds; the
+	// per-round batch size is ⌈B/L⌉. It must be positive.
+	Latency int
+	// Strategy picks the expression-selection strategy.
+	Strategy Strategy
+	// M is the HHS early-stop parameter; ignored by FBS and UBS.
+	M int
+
+	// TaskCost prices a task in budget units; nil means every task costs
+	// one unit, the paper's fixed-price default. §6.1 notes that variable
+	// task difficulty is handled by "accumulating the respective crowd
+	// cost of the task one by one", which is exactly what a non-nil
+	// TaskCost does: a round's batch is filled until its accumulated
+	// price reaches the per-round allowance ⌈B/L⌉, and the budget is
+	// charged actual prices. Costs must be positive.
+	TaskCost func(crowd.Task) int
+
+	// Net is the Bayesian network over the data attributes used to derive
+	// missing-value posteriors. When nil, the preprocessing step learns
+	// one from the dataset's complete rows (LearnOpts), falling back to
+	// independent empirical marginals when there are too few complete
+	// rows.
+	Net *bayesnet.Network
+	// LearnOpts tunes structure learning when Net is nil.
+	LearnOpts bayesnet.LearnOptions
+	// Imputer, when non-nil, supplies the missing-value distributions
+	// directly, replacing the Bayesian network — e.g. the denoising
+	// autoencoder of internal/dae, the alternative §3 names.
+	Imputer Imputer
+	// MarginalsOnly skips the Bayesian network entirely and models every
+	// missing value by its attribute's empirical marginal — the
+	// "no correlation" ablation.
+	MarginalsOnly bool
+	// NoInference disables answer propagation: each crowd answer decides
+	// only the literally asked expression instead of narrowing the
+	// variable for every condition that mentions it — the
+	// answer-propagation ablation.
+	NoInference bool
+
+	// Rng drives tie-breaking; defaults to a fixed seed.
+	Rng *rand.Rand
+
+	// OnRound, when non-nil, is invoked after each crowdsourcing round
+	// with the 1-based round number, the tasks just posted, and the
+	// number of still-undecided conditions — a progress hook for CLIs
+	// and long-running queries.
+	OnRound func(round, tasksPosted, undecided int)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Budget <= 0 {
+		return o, fmt.Errorf("core: budget %d must be positive", o.Budget)
+	}
+	if o.Latency <= 0 {
+		return o, fmt.Errorf("core: latency %d must be positive", o.Latency)
+	}
+	if o.Strategy == HHS && o.M <= 0 {
+		return o, fmt.Errorf("core: HHS requires a positive m, got %d", o.M)
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	return o, nil
+}
+
+// Result reports the outcome of a BayesCrowd run.
+type Result struct {
+	// Answers is the query result set: objects whose condition is decided
+	// true plus objects whose final satisfaction probability exceeds 0.5
+	// (§7).
+	Answers []int
+	// Probs holds the final Pr(φ(o)) of every object whose condition is
+	// still undecided.
+	Probs map[int]float64
+	// TasksPosted and Rounds are the monetary-cost and latency metrics.
+	TasksPosted int
+	Rounds      int
+	// BudgetSpent is the accumulated task cost in budget units; it equals
+	// TasksPosted under the default unit pricing.
+	BudgetSpent int
+	// ConflictingAnswers counts crowd answers that contradicted earlier
+	// knowledge and were discarded (possible with imperfect workers).
+	ConflictingAnswers int
+	// CTable is the final conditional table after all answers were
+	// absorbed, for inspection and reporting.
+	CTable *ctable.CTable
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/prob"
+)
+
+// Run executes the full BayesCrowd framework (Algorithm 1) over an
+// incomplete dataset: preprocessing (Bayesian-network posteriors),
+// modeling (Get-CTable), and the iterative crowdsourcing phase
+// (Algorithm 4 for HHS; the same loop with the FBS or UBS selection rule
+// otherwise). Crowd answers are obtained from the given platform.
+func Run(d *dataset.Dataset, platform crowd.Platform, opt Options) (*Result, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	base, err := Preprocess(d, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	ct := ctable.Build(d, ctable.BuildOptions{Alpha: opt.Alpha})
+	return crowdPhase(d, ct, base, platform, opt)
+}
+
+// RunWithDists runs the modeling and crowdsourcing phases against
+// precomputed missing-value posteriors, skipping preprocessing. The
+// benchmark harness uses it to time the framework the way the paper does
+// — Bayesian-network training and posterior inference happen offline,
+// before the modeling phase — and to reuse one preprocessing pass across
+// a parameter sweep.
+func RunWithDists(d *dataset.Dataset, base prob.Dists, platform crowd.Platform, opt Options) (*Result, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ct := ctable.Build(d, ctable.BuildOptions{Alpha: opt.Alpha})
+	return crowdPhase(d, ct, base, platform, opt)
+}
+
+// crowdPhase runs the crowdsourcing loop against an already-built c-table
+// and base posteriors. Exposed within the package so benchmarks can time
+// it apart from preprocessing.
+func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform crowd.Platform, opt Options) (*Result, error) {
+	know := ctable.NewKnowledge(d)
+	know.NoInference = opt.NoInference
+
+	// Effective distributions: the base posteriors, renormalised by what
+	// the crowd has revealed so far.
+	eff := make(prob.Dists, len(base))
+	for v, dist := range base {
+		eff[v] = dist
+	}
+	ev := &prob.Evaluator{Dists: eff}
+
+	result := &Result{}
+	remaining := opt.Budget
+	mu := (opt.Budget + opt.Latency - 1) / opt.Latency // ⌈B/L⌉ tasks per round
+
+	// Satisfaction probabilities are cached across rounds and recomputed
+	// only for conditions that mention a variable an answer touched: a
+	// 20-task round changes at most 40 variables, so most conditions keep
+	// their probability.
+	probs := make(map[int]float64)
+	varToObjs := map[ctable.Var][]int{}
+	for _, o := range ct.Undecided() {
+		probs[o] = ev.Prob(ct.Conds[o])
+		for _, v := range ct.Conds[o].Vars() {
+			varToObjs[v] = append(varToObjs[v], o)
+		}
+	}
+
+	for remaining > 0 {
+		if len(probs) == 0 {
+			break // every condition decided
+		}
+
+		k := mu
+		if remaining < k {
+			k = remaining
+		}
+		tasks := selectBatch(opt, ct, ev, probs, k)
+		if len(tasks) == 0 {
+			break // nothing conflict-free left to ask
+		}
+		// Algorithm 4 line 8: the budget shrinks by at least μ per round
+		// even when conflicts leave the batch short, which bounds the
+		// number of rounds by the latency constraint L. With variable
+		// task prices the round is charged its actual accumulated cost
+		// when that exceeds the allowance (a first-task overshoot).
+		batchCost := 0
+		for _, t := range tasks {
+			batchCost += taskCost(opt, t)
+		}
+		charge := mu
+		if batchCost > charge {
+			charge = batchCost
+		}
+		remaining -= charge
+		if remaining < 0 {
+			remaining = 0
+		}
+
+		answers := platform.Post(tasks)
+		result.TasksPosted += len(tasks)
+		result.BudgetSpent += batchCost
+		result.Rounds++
+
+		// Absorb the answers. Only constant-comparison answers narrow a
+		// variable's interval (and hence its distribution); var-vs-var
+		// answers record a pairwise relation and leave distributions
+		// untouched.
+		touched := map[ctable.Var]bool{}
+		distChanged := map[ctable.Var]bool{}
+		var buf []ctable.Var
+		for _, a := range answers {
+			if err := know.Absorb(a.Task.Expr, a.Rel); err != nil {
+				if errors.Is(err, ctable.ErrConflict) {
+					result.ConflictingAnswers++
+					continue
+				}
+				return nil, err
+			}
+			for _, v := range a.Task.Expr.Vars(buf[:0]) {
+				touched[v] = true
+			}
+			if a.Task.Expr.Kind != ctable.VarGTVar && !opt.NoInference {
+				v := a.Task.Expr.X
+				lo, hi := know.Bounds(v)
+				eff[v] = conditionDist(base[v], lo, hi)
+				distChanged[v] = true
+			}
+		}
+
+		// Re-simplify exactly the conditions that mention a touched
+		// variable, and recompute Pr only where the condition actually
+		// changed or a referenced distribution did.
+		seen := map[int]bool{}
+		for v := range touched {
+			for _, o := range varToObjs[v] {
+				if seen[o] {
+					continue
+				}
+				seen[o] = true
+				if _, tracked := probs[o]; !tracked {
+					continue
+				}
+				cond := ct.Conds[o]
+				before := cond.NumExprs()
+				cond.Simplify(know)
+				if _, decided := cond.Decided(); decided {
+					delete(probs, o)
+					continue
+				}
+				recompute := cond.NumExprs() != before
+				if !recompute && len(distChanged) > 0 {
+					for _, cv := range cond.Vars() {
+						if distChanged[cv] {
+							recompute = true
+							break
+						}
+					}
+				}
+				if recompute {
+					probs[o] = ev.Prob(cond)
+				}
+			}
+		}
+
+		if opt.OnRound != nil {
+			opt.OnRound(result.Rounds, len(tasks), len(probs))
+		}
+	}
+
+	// Final inference: decided-true objects plus undecided ones whose
+	// satisfaction probability exceeds 0.5 (§7). The cached probabilities
+	// are current — every absorbed answer invalidated its conditions.
+	result.Probs = map[int]float64{}
+	answers := ct.ResultSet()
+	for o, p := range probs {
+		result.Probs[o] = p
+		if p > 0.5 {
+			answers = append(answers, o)
+		}
+	}
+	sort.Ints(answers)
+	result.Answers = answers
+	result.CTable = ct
+	return result, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sort"
+
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/prob"
+)
+
+// selectBatch implements one iteration of the two-step task selection
+// (§6.2): rank undecided objects by entropy, then pick one expression per
+// object according to the strategy, keeping the batch conflict-free (no
+// two tasks share a variable, §6.1). It returns at most k tasks; objects
+// beyond the top-k are consulted only when higher-entropy objects cannot
+// contribute a conflict-free task.
+func selectBatch(opt Options, ct *ctable.CTable, ev *prob.Evaluator, probs map[int]float64, k int) []crowd.Task {
+	type candidate struct {
+		obj int
+		h   float64
+	}
+	var cands []candidate
+	for _, o := range ct.Undecided() {
+		if ct.Conds[o].NumExprs() == 0 {
+			continue
+		}
+		cands = append(cands, candidate{obj: o, h: Entropy(probs[o])})
+	}
+	if len(cands) == 0 || k <= 0 {
+		return nil
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].h > cands[b].h })
+
+	// Expression frequencies across the conditions of the chosen top-k
+	// objects (the FBS ranking key and the HHS visiting order).
+	top := cands
+	if len(top) > k {
+		top = top[:k]
+	}
+	freq := map[ctable.Expr]int{}
+	for _, c := range top {
+		for _, cl := range ct.Conds[c.obj].Clauses {
+			for _, e := range cl {
+				freq[e]++
+			}
+		}
+	}
+
+	used := map[ctable.Var]bool{}
+	var tasks []crowd.Task
+	var varBuf []ctable.Var
+	spent := 0
+	for _, c := range cands {
+		if spent >= k {
+			break
+		}
+		e, ok := pickExpr(opt, ev, ct.Conds[c.obj], probs[c.obj], freq, used)
+		if !ok {
+			continue // every expression conflicts with this batch
+		}
+		task := crowd.Task{Expr: e}
+		cost := taskCost(opt, task)
+		// A task pricier than the remaining allowance still ships when it
+		// is the round's first — otherwise one expensive task could
+		// starve the query forever.
+		if spent > 0 && spent+cost > k {
+			continue
+		}
+		tasks = append(tasks, task)
+		spent += cost
+		varBuf = e.Vars(varBuf[:0])
+		for _, v := range varBuf {
+			used[v] = true
+		}
+	}
+	return tasks
+}
+
+// taskCost prices a task: 1 unit unless Options.TaskCost says otherwise.
+// Non-positive prices are a caller bug and panic loudly rather than
+// silently corrupting the budget ledger.
+func taskCost(opt Options, t crowd.Task) int {
+	if opt.TaskCost == nil {
+		return 1
+	}
+	c := opt.TaskCost(t)
+	if c < 1 {
+		panic("core: TaskCost returned a non-positive price")
+	}
+	return c
+}
+
+// pickExpr chooses one expression of the condition per the strategy,
+// avoiding variables already used in the batch. ok is false when no
+// conflict-free expression exists.
+func pickExpr(opt Options, ev *prob.Evaluator, cond *ctable.Condition, pPhi float64, freq map[ctable.Expr]int, used map[ctable.Var]bool) (ctable.Expr, bool) {
+	avail := availableExprs(cond, used)
+	if len(avail) == 0 {
+		return ctable.Expr{}, false
+	}
+
+	// Random permutation first, then a stable sort by frequency: ties are
+	// broken randomly, as the paper prescribes, but reproducibly via the
+	// seeded Rng.
+	opt.Rng.Shuffle(len(avail), func(i, j int) { avail[i], avail[j] = avail[j], avail[i] })
+	sort.SliceStable(avail, func(a, b int) bool { return freq[avail[a]] > freq[avail[b]] })
+
+	switch opt.Strategy {
+	case FBS:
+		return avail[0], true
+
+	case UBS:
+		best, bestG := avail[0], -1.0
+		for _, e := range avail {
+			if g := UtilityWith(ev, cond, e, pPhi); g > bestG {
+				best, bestG = e, g
+			}
+		}
+		return best, true
+
+	case HHS:
+		// Algorithm 4 lines 10-22: visit in frequency order, early-stop
+		// after m consecutive expressions without improvement.
+		best, bestG := avail[0], 0.0
+		c := 0
+		for _, e := range avail {
+			g := UtilityWith(ev, cond, e, pPhi)
+			if g > bestG {
+				best, bestG = e, g
+				c = 0
+				continue
+			}
+			c++
+			if c == opt.M {
+				break
+			}
+		}
+		return best, true
+
+	default:
+		panic("core: unknown strategy")
+	}
+}
+
+// availableExprs returns the condition's distinct expressions whose
+// variables are all unused in the current batch.
+func availableExprs(cond *ctable.Condition, used map[ctable.Var]bool) []ctable.Expr {
+	var out []ctable.Expr
+	var buf []ctable.Var
+	for _, e := range cond.Exprs() {
+		conflict := false
+		buf = e.Vars(buf[:0])
+		for _, v := range buf {
+			if used[v] {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package crowd models the crowdsourcing platform of the paper's
+// crowdsourcing phase (§6): tasks are triple-choice micro-questions
+// ("is the left operand larger than, smaller than, or equal to the right
+// operand?"), posted in batches (iterations), each answered by several
+// workers whose votes are aggregated by majority.
+//
+// The live marketplace (AMT in the paper's §7.5) is replaced by a
+// simulator that answers from the hidden ground-truth dataset with a
+// configurable worker accuracy — exactly the worker model the paper's own
+// offline experiments use (accuracy 0.7–1.0, three workers per task,
+// majority voting).
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/dataset"
+)
+
+// Task is one crowd micro-question, identified by the expression whose
+// operand relation it asks about.
+type Task struct {
+	Expr ctable.Expr
+}
+
+// String renders the task as the question a worker sees.
+func (t Task) String() string {
+	e := t.Expr
+	switch e.Kind {
+	case ctable.VarLTConst, ctable.VarGTConst:
+		return fmt.Sprintf("Is %v larger than, smaller than, or equal to %d?", e.X, e.C)
+	case ctable.VarGTVar:
+		return fmt.Sprintf("Is %v larger than, smaller than, or equal to %v?", e.X, e.Y)
+	default:
+		return fmt.Sprintf("Task(%v)", e)
+	}
+}
+
+// Answer is the aggregated (majority-voted) response to a task: the
+// asserted relation between the expression's left and right operands.
+type Answer struct {
+	Task Task
+	Rel  ctable.Rel
+}
+
+// Platform is the interface BayesCrowd posts batches of tasks to. One
+// Post call is one iteration/round in the paper's latency model.
+type Platform interface {
+	Post(tasks []Task) []Answer
+}
+
+// Stats tracks the monetary-cost and latency metrics the paper reports:
+// total tasks posted (each costs a fixed amount, so #tasks is the
+// monetary cost) and rounds used (#rounds is the latency).
+type Stats struct {
+	TasksPosted int
+	Rounds      int
+}
+
+// Simulated is a Platform that answers from hidden ground truth with
+// imperfect workers.
+type Simulated struct {
+	// Truth is the complete dataset the workers consult.
+	Truth *dataset.Dataset
+	// Accuracy is the per-worker probability of answering the true
+	// relation; a wrong worker picks one of the two other relations
+	// uniformly. The paper's default is 1.0.
+	Accuracy float64
+	// WorkersPerTask is the number of votes per task (paper default 3).
+	WorkersPerTask int
+	// Rng drives worker errors; required when Accuracy < 1.
+	Rng *rand.Rand
+
+	Stats Stats
+}
+
+// NewSimulated returns a simulated platform with the paper's defaults:
+// three workers per task, majority voting.
+func NewSimulated(truth *dataset.Dataset, accuracy float64, rng *rand.Rand) *Simulated {
+	if accuracy < 0 || accuracy > 1 {
+		panic(fmt.Sprintf("crowd: accuracy %v outside [0,1]", accuracy))
+	}
+	return &Simulated{Truth: truth, Accuracy: accuracy, WorkersPerTask: 3, Rng: rng}
+}
+
+// Post answers one batch of tasks: every task is voted on by
+// WorkersPerTask simulated workers and the majority relation is returned
+// (ties broken by the first vote, mirroring a requester accepting the
+// earliest answer). The batch counts as one round.
+func (s *Simulated) Post(tasks []Task) []Answer {
+	if len(tasks) == 0 {
+		return nil
+	}
+	s.Stats.Rounds++
+	s.Stats.TasksPosted += len(tasks)
+
+	answers := make([]Answer, len(tasks))
+	for i, task := range tasks {
+		truth := ctable.TrueRel(s.Truth, task.Expr)
+		answers[i] = Answer{Task: task, Rel: s.vote(truth)}
+	}
+	return answers
+}
+
+// vote simulates WorkersPerTask workers and aggregates by majority.
+func (s *Simulated) vote(truth ctable.Rel) ctable.Rel {
+	workers := s.WorkersPerTask
+	if workers < 1 {
+		workers = 1
+	}
+	counts := [3]int{}
+	first := truth
+	for w := 0; w < workers; w++ {
+		ans := s.workerAnswer(truth)
+		if w == 0 {
+			first = ans
+		}
+		counts[ans]++
+	}
+	best := first
+	for _, r := range []ctable.Rel{ctable.LT, ctable.EQ, ctable.GT} {
+		if counts[r] > counts[best] {
+			best = r
+		}
+	}
+	return best
+}
+
+// workerAnswer returns one worker's response: the truth with probability
+// Accuracy, otherwise one of the two wrong relations uniformly.
+func (s *Simulated) workerAnswer(truth ctable.Rel) ctable.Rel {
+	if s.Accuracy >= 1 || s.Rng == nil {
+		return truth
+	}
+	if s.Rng.Float64() < s.Accuracy {
+		return truth
+	}
+	wrong := [2]ctable.Rel{}
+	k := 0
+	for _, r := range []ctable.Rel{ctable.LT, ctable.EQ, ctable.GT} {
+		if r != truth {
+			wrong[k] = r
+			k++
+		}
+	}
+	return wrong[s.Rng.Intn(2)]
+}

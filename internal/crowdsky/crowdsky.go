@@ -1,0 +1,265 @@
+// Package crowdsky reimplements CrowdSky (Lee, Lee, Kim; EDBT 2016), the
+// state-of-the-art comparator of the paper's §7.3.
+//
+// CrowdSky's data model splits attributes into observed attributes (known
+// for every object) and crowd attributes (unknown for every object);
+// missing preferences are collected with pairwise crowd comparisons
+// ("which of o and p is better on crowd attribute c?"). Dominance over the
+// observed attributes prunes pairs, skyline layers organise the
+// candidates, and comparisons for independent pairs run in parallel
+// rounds. Crucially — and this is what Figure 4 measures — CrowdSky
+// performs no probabilistic inference across pairs: each unresolved pair
+// consumes its own sequence of comparisons, one crowd attribute at a
+// time, so it needs roughly an order of magnitude more tasks and rounds
+// than BayesCrowd on the same data.
+//
+// Answers are cached and shared across pairs (the same comparison is
+// never asked twice), and within a pair the comparison sequence
+// terminates early as soon as the candidate wins one attribute.
+package crowdsky
+
+import (
+	"fmt"
+	"sort"
+
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/skyline"
+)
+
+// Options configures a CrowdSky run.
+type Options struct {
+	// CrowdAttrs lists the attribute indices whose values are crowd-
+	// sourced; every object's value there must be missing. The remaining
+	// attributes must be fully observed.
+	CrowdAttrs []int
+	// TasksPerRound bounds the batch posted per round (20 in the paper's
+	// comparison, §7.3).
+	TasksPerRound int
+}
+
+// Result reports the computed skyline and the cost metrics of Figure 4.
+type Result struct {
+	Skyline     []int
+	TasksPosted int
+	Rounds      int
+}
+
+// pair tracks the resolution state of "does p dominate o?".
+type pair struct {
+	o, p int
+	// strict records whether p is already known strictly better on some
+	// attribute (observed or answered).
+	strict bool
+	// next indexes into CrowdAttrs: the next crowd attribute to compare.
+	next int
+}
+
+// Run computes the skyline of the dataset with crowdsourced comparisons.
+// The platform answers pairwise tasks (expressions comparing the two
+// objects' variables on one crowd attribute).
+func Run(d *dataset.Dataset, platform crowd.Platform, opt Options) (*Result, error) {
+	if err := validate(d, opt); err != nil {
+		return nil, err
+	}
+	if opt.TasksPerRound <= 0 {
+		opt.TasksPerRound = 20
+	}
+	observed := observedAttrs(d, opt.CrowdAttrs)
+
+	// Layers over the observed attributes order candidate processing so
+	// that likely-skyline objects resolve first.
+	layerOf := make([]int, d.Len())
+	for li, layer := range skyline.Layers(d, observed) {
+		for _, o := range layer {
+			layerOf[o] = li
+		}
+	}
+
+	// Candidate pairs: p can dominate o only if p is not worse on every
+	// observed attribute.
+	var pairs []*pair
+	for o := 0; o < d.Len(); o++ {
+		for p := 0; p < d.Len(); p++ {
+			if p == o {
+				continue
+			}
+			geq, strict := observedRelation(d, observed, p, o)
+			if !geq {
+				continue
+			}
+			pairs = append(pairs, &pair{o: o, p: p, strict: strict})
+		}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool {
+		if layerOf[pairs[a].o] != layerOf[pairs[b].o] {
+			return layerOf[pairs[a].o] < layerOf[pairs[b].o]
+		}
+		if pairs[a].o != pairs[b].o {
+			return pairs[a].o < pairs[b].o
+		}
+		return pairs[a].p < pairs[b].p
+	})
+
+	dominated := make([]bool, d.Len())
+	answers := map[ctable.Expr]ctable.Rel{} // cache across pairs
+	res := &Result{}
+
+	// exprFor returns the canonical comparison expression for "p vs o on
+	// attribute j" (lower object index on the left), plus whether the
+	// answer must be flipped to read as p-relative. Canonicalising lets
+	// the cache serve both orientations of a pair with one crowd task.
+	exprFor := func(p, o, j int) (ctable.Expr, bool) {
+		if p < o {
+			return ctable.GTVar(ctable.Var{Obj: p, Attr: j}, ctable.Var{Obj: o, Attr: j}), false
+		}
+		return ctable.GTVar(ctable.Var{Obj: o, Attr: j}, ctable.Var{Obj: p, Attr: j}), true
+	}
+	flipRel := func(r ctable.Rel) ctable.Rel {
+		switch r {
+		case ctable.LT:
+			return ctable.GT
+		case ctable.GT:
+			return ctable.LT
+		default:
+			return ctable.EQ
+		}
+	}
+
+	// resolve advances a pair as far as cached answers allow; it returns
+	// the pair's next needed task, or ok=false when the pair is settled.
+	resolve := func(pr *pair) (crowd.Task, bool) {
+		for pr.next < len(opt.CrowdAttrs) {
+			j := opt.CrowdAttrs[pr.next]
+			e, flip := exprFor(pr.p, pr.o, j)
+			rel, ok := answers[e]
+			if !ok {
+				return crowd.Task{Expr: e}, true
+			}
+			if flip {
+				rel = flipRel(rel)
+			}
+			switch rel {
+			case ctable.LT: // p worse than o here: p cannot dominate o
+				pr.next = len(opt.CrowdAttrs) + 1 // settled, no dominance
+				return crowd.Task{}, false
+			case ctable.GT:
+				pr.strict = true
+			}
+			pr.next++
+		}
+		if pr.next == len(opt.CrowdAttrs) && pr.strict && !dominated[pr.o] {
+			dominated[pr.o] = true
+		}
+		return crowd.Task{}, false
+	}
+
+	active := pairs
+	for {
+		// Collect one next-task per unsettled pair, skipping pairs whose
+		// candidate is already dominated and deduplicating tasks needed
+		// by several pairs this round. The scan stops as soon as the
+		// round's batch is full — the untouched tail stays active, so the
+		// front of the queue (the earliest skyline layers) drains first,
+		// exactly CrowdSky's layer-ordered processing.
+		var batch []crowd.Task
+		inBatch := map[ctable.Expr]bool{}
+		remaining := active[:0]
+		for i, pr := range active {
+			if len(batch) == opt.TasksPerRound {
+				remaining = append(remaining, active[i:]...)
+				break
+			}
+			if dominated[pr.o] {
+				continue // o is settled as a non-answer
+			}
+			if dominated[pr.p] {
+				// By transitivity p's own dominator also threatens o and
+				// has (or had) its own pair with o, so this pair is
+				// redundant — the pruning CrowdSky draws from its
+				// dominating sets.
+				continue
+			}
+			task, need := resolve(pr)
+			if !need {
+				continue
+			}
+			remaining = append(remaining, pr)
+			if !inBatch[task.Expr] {
+				inBatch[task.Expr] = true
+				batch = append(batch, task)
+			}
+		}
+		active = remaining
+		if len(batch) == 0 {
+			break
+		}
+		for _, a := range platform.Post(batch) {
+			answers[a.Task.Expr] = a.Rel
+		}
+		res.TasksPosted += len(batch)
+		res.Rounds++
+	}
+
+	for o := 0; o < d.Len(); o++ {
+		if !dominated[o] {
+			res.Skyline = append(res.Skyline, o)
+		}
+	}
+	return res, nil
+}
+
+func validate(d *dataset.Dataset, opt Options) error {
+	if len(opt.CrowdAttrs) == 0 {
+		return fmt.Errorf("crowdsky: no crowd attributes")
+	}
+	isCrowd := map[int]bool{}
+	for _, j := range opt.CrowdAttrs {
+		if j < 0 || j >= d.NumAttrs() {
+			return fmt.Errorf("crowdsky: crowd attribute %d outside [0,%d)", j, d.NumAttrs())
+		}
+		isCrowd[j] = true
+	}
+	for i := range d.Objects {
+		for j, c := range d.Objects[i].Cells {
+			if isCrowd[j] && !c.Missing {
+				return fmt.Errorf("crowdsky: object %d has an observed value in crowd attribute %d", i, j)
+			}
+			if !isCrowd[j] && c.Missing {
+				return fmt.Errorf("crowdsky: object %d misses observed attribute %d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+func observedAttrs(d *dataset.Dataset, crowdAttrs []int) []int {
+	isCrowd := map[int]bool{}
+	for _, j := range crowdAttrs {
+		isCrowd[j] = true
+	}
+	var out []int
+	for j := 0; j < d.NumAttrs(); j++ {
+		if !isCrowd[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// observedRelation reports whether p >= o on every observed attribute,
+// and whether some inequality is strict.
+func observedRelation(d *dataset.Dataset, observed []int, p, o int) (geq, strict bool) {
+	for _, j := range observed {
+		pv := d.Objects[p].Cells[j].Value
+		ov := d.Objects[o].Cells[j].Value
+		if pv < ov {
+			return false, false
+		}
+		if pv > ov {
+			strict = true
+		}
+	}
+	return true, strict
+}

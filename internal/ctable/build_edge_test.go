@@ -1,0 +1,161 @@
+package ctable
+
+import (
+	"math/rand"
+	"testing"
+
+	"bayescrowd/internal/bitset"
+	"bayescrowd/internal/dataset"
+)
+
+func TestBuildSingleObject(t *testing.T) {
+	d := dataset.New([]dataset.Attribute{{Name: "a", Levels: 3}})
+	d.MustAppend(dataset.Object{ID: "only", Cells: []dataset.Cell{dataset.Unknown()}})
+	ct := Build(d, BuildOptions{Alpha: 1})
+	if !ct.Conds[0].IsTrue() {
+		t.Fatalf("lone object condition = %v, want true (empty dominator set)", ct.Conds[0])
+	}
+}
+
+func TestBuildEmptyDataset(t *testing.T) {
+	d := dataset.New([]dataset.Attribute{{Name: "a", Levels: 3}})
+	ct := Build(d, BuildOptions{Alpha: 1})
+	if len(ct.Conds) != 0 {
+		t.Fatalf("empty dataset produced %d conditions", len(ct.Conds))
+	}
+}
+
+func TestBuildAllMissing(t *testing.T) {
+	// Every cell missing: every pair could dominate either way, so every
+	// condition is a pure var-vs-var CNF and nothing is decided.
+	d := dataset.New([]dataset.Attribute{{Name: "a", Levels: 4}, {Name: "b", Levels: 4}})
+	for i := 0; i < 4; i++ {
+		d.MustAppend(dataset.Object{ID: "", Cells: []dataset.Cell{dataset.Unknown(), dataset.Unknown()}})
+	}
+	ct := Build(d, BuildOptions{Alpha: 1})
+	for o, c := range ct.Conds {
+		if _, decided := c.Decided(); decided {
+			t.Fatalf("φ(o%d) decided (%v) despite total uncertainty", o+1, c)
+		}
+		// 3 dominators × 2 var-var expressions each.
+		if got := c.NumExprs(); got != 6 {
+			t.Fatalf("φ(o%d) has %d expressions, want 6", o+1, got)
+		}
+		for _, e := range c.Exprs() {
+			if e.Kind != VarGTVar {
+				t.Fatalf("unexpected expression kind in %v", e)
+			}
+		}
+	}
+}
+
+func TestBuildFullTieForcesFalse(t *testing.T) {
+	// Documented strict-inequality semantics: an exact duplicate pair is
+	// mutually "dominated" in the c-table even though Definition 1 says
+	// neither dominates.
+	d := dataset.FromRows(
+		[]dataset.Attribute{{Name: "a", Levels: 4}, {Name: "b", Levels: 4}},
+		[][]int{{2, 2}, {2, 2}},
+	)
+	ct := Build(d, BuildOptions{Alpha: 1})
+	if !ct.Conds[0].IsFalse() || !ct.Conds[1].IsFalse() {
+		t.Fatalf("tied duplicates: φ(o1)=%v φ(o2)=%v, want false/false", ct.Conds[0], ct.Conds[1])
+	}
+	// And Verify excuses exactly this case.
+	if bad := ct.Verify(d); len(bad) != 0 {
+		t.Fatalf("Verify flagged the documented tie semantics: %v", bad)
+	}
+}
+
+func TestBuildCrowdSkySetup(t *testing.T) {
+	// HideAttrs setup (Figure 4): conditions must verify against truth.
+	rng := rand.New(rand.NewSource(36))
+	truth := dataset.GenIndependent(rng, 120, 5, 8)
+	inc := truth.HideAttrs(1, 3)
+	ct := Build(inc, BuildOptions{Alpha: 0})
+	if bad := ct.Verify(truth); len(bad) != 0 {
+		t.Fatalf("c-table wrong for objects %v", bad)
+	}
+}
+
+func TestDomIndexReuseAcrossObjects(t *testing.T) {
+	// The same output bitset must be reusable across calls.
+	d := dataset.SampleMovies()
+	ix := NewDomIndex(d)
+	out := bitset.New(d.Len())
+	ix.Dominators(d, 3, out)
+	first := out.String()
+	ix.Dominators(d, 0, out)
+	ix.Dominators(d, 3, out)
+	if out.String() != first {
+		t.Fatalf("Dominators not idempotent across reuse: %s vs %s", out.String(), first)
+	}
+}
+
+func TestVerifyCatchesCorruptedCTable(t *testing.T) {
+	// Negative test: Verify must actually detect a wrong condition.
+	rng := rand.New(rand.NewSource(37))
+	truth := dataset.GenIndependent(rng, 60, 3, 8)
+	inc := truth.InjectMissing(rng, 0.2)
+	ct := Build(inc, BuildOptions{Alpha: 0})
+	// Corrupt: flip a decided condition.
+	flipped := -1
+	for o, c := range ct.Conds {
+		if c.IsTrue() {
+			ct.Conds[o] = False()
+			flipped = o
+			break
+		}
+	}
+	if flipped == -1 {
+		t.Skip("no decided-true condition to corrupt")
+	}
+	bad := ct.Verify(truth)
+	found := false
+	for _, o := range bad {
+		if o == flipped {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Verify missed corrupted object %d (bad=%v)", flipped, bad)
+	}
+}
+
+func TestKnowledgeNoInference(t *testing.T) {
+	k := knowledgeOver(10)
+	k.NoInference = true
+	x := v(0, 0)
+	// Answer "x vs 6" = LT decides exactly that expression...
+	if err := k.Absorb(LTConst(x, 6), LT); err != nil {
+		t.Fatal(err)
+	}
+	if val, decided := k.Eval(LTConst(x, 6)); !decided || !val {
+		t.Fatalf("asked expression not decided: %v,%v", val, decided)
+	}
+	// ...but implies nothing about x < 8, which interval reasoning would
+	// have decided.
+	if _, decided := k.Eval(LTConst(x, 8)); decided {
+		t.Fatal("NoInference leaked interval reasoning")
+	}
+	// And bounds stay at the full domain.
+	if lo, hi := k.Bounds(x); lo != 0 || hi != 9 {
+		t.Fatalf("Bounds = [%d,%d], want untouched [0,9]", lo, hi)
+	}
+}
+
+func TestKnowledgeNoInferenceVarVar(t *testing.T) {
+	k := knowledgeOver(10)
+	k.NoInference = true
+	x, y := v(0, 0), v(1, 0)
+	if err := k.Absorb(GTVar(x, y), GT); err != nil {
+		t.Fatal(err)
+	}
+	if val, decided := k.Eval(GTVar(x, y)); !decided || !val {
+		t.Fatalf("asked var-var expression undecided: %v,%v", val, decided)
+	}
+	// The flipped orientation was not asked, so it stays open.
+	if _, decided := k.Eval(GTVar(y, x)); decided {
+		t.Fatal("NoInference decided the flipped expression")
+	}
+}

@@ -1,0 +1,91 @@
+package ctable
+
+import (
+	"bayescrowd/internal/bitset"
+	"bayescrowd/internal/dataset"
+)
+
+// DomIndex supports fast derivation of dominator sets (Definition 5): it
+// precomputes, per attribute i and level v, the bitset of objects whose
+// value in i is observed-and-≥-v or missing. D(o) is then the AND of d
+// such bitsets — the "fast bitwise operations" that make Get-CTable beat
+// the pairwise Baseline in Figure 2.
+type DomIndex struct {
+	n int
+	// geqm[i][v] = { p : p.[i] missing or p.[i] >= v }.
+	geqm [][]*bitset.Set
+	all  *bitset.Set
+}
+
+// NewDomIndex builds the index in O(d · levels · n/64) words of memory and
+// O(d · n) time plus the suffix unions.
+func NewDomIndex(d *dataset.Dataset) *DomIndex {
+	n := d.Len()
+	ix := &DomIndex{n: n, geqm: make([][]*bitset.Set, d.NumAttrs()), all: bitset.New(n)}
+	ix.all.SetAll()
+	for j, attr := range d.Attrs {
+		// eq[v]: objects with observed value v; miss: objects missing j.
+		eq := make([]*bitset.Set, attr.Levels)
+		for v := range eq {
+			eq[v] = bitset.New(n)
+		}
+		miss := bitset.New(n)
+		for i := range d.Objects {
+			c := d.Objects[i].Cells[j]
+			if c.Missing {
+				miss.Set(i)
+			} else {
+				eq[c.Value].Set(i)
+			}
+		}
+		// Suffix-union into geq-or-missing sets.
+		ix.geqm[j] = make([]*bitset.Set, attr.Levels)
+		acc := miss.Clone()
+		for v := attr.Levels - 1; v >= 0; v-- {
+			acc.Or(eq[v])
+			ix.geqm[j][v] = acc.Clone()
+		}
+	}
+	return ix
+}
+
+// Dominators writes D(o) — the objects that possibly dominate object o —
+// into out, which must have capacity for the dataset cardinality.
+func (ix *DomIndex) Dominators(d *dataset.Dataset, o int, out *bitset.Set) {
+	out.CopyFrom(ix.all)
+	for j := range d.Attrs {
+		c := d.Objects[o].Cells[j]
+		if c.Missing {
+			continue // D_j(o) is the full set
+		}
+		out.And(ix.geqm[j][c.Value])
+	}
+	out.Clear(o)
+}
+
+// DominatorsPairwise derives D(o) by comparing o against every other
+// object directly — the Baseline of Figure 2. The result equals
+// DomIndex.Dominators.
+func DominatorsPairwise(d *dataset.Dataset, o int, out *bitset.Set) {
+	out.ClearAll()
+	oc := d.Objects[o].Cells
+	for p := range d.Objects {
+		if p == o {
+			continue
+		}
+		pc := d.Objects[p].Cells
+		possible := true
+		for j := range oc {
+			if oc[j].Missing || pc[j].Missing {
+				continue
+			}
+			if pc[j].Value < oc[j].Value {
+				possible = false
+				break
+			}
+		}
+		if possible {
+			out.Set(p)
+		}
+	}
+}

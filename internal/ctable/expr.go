@@ -1,0 +1,150 @@
+// Package ctable implements the conditional-table (c-table) model of the
+// paper's modeling phase (§4): every object o of an incomplete dataset is
+// paired with a propositional condition φ(o) in CNF such that o is a
+// skyline answer iff φ(o) is satisfied.
+//
+// Clauses of φ(o) come from the dominator set D(o) — the objects that could
+// possibly dominate o (Definition 5) — derived either by the paper's fast
+// per-dimension-sort + bitwise method (Get-CTable, Algorithm 2) or by the
+// pairwise Baseline it is compared against in Figure 2. Expressions (the
+// disjuncts of a clause) are inequalities between a variable Var(o, a) —
+// a missing cell — and a constant or a second variable; each expression is
+// also a crowd task.
+package ctable
+
+import "fmt"
+
+// Var identifies the missing cell of object Obj in attribute Attr — the
+// paper's Var(o_i, a_j).
+type Var struct {
+	Obj, Attr int
+}
+
+// String renders the variable in the paper's notation with 1-based indices,
+// e.g. "Var(o5,a2)".
+func (v Var) String() string { return fmt.Sprintf("Var(o%d,a%d)", v.Obj+1, v.Attr+1) }
+
+// Rel is the three-way relation a crowd worker can assert between the two
+// operands of an expression: smaller than, equal to, or larger than.
+type Rel int8
+
+// Relation values. The zero value is LT so that Rel is safe to compare but
+// callers should always set it explicitly.
+const (
+	LT Rel = iota
+	EQ
+	GT
+)
+
+// String returns <, =, or >.
+func (r Rel) String() string {
+	switch r {
+	case LT:
+		return "<"
+	case EQ:
+		return "="
+	case GT:
+		return ">"
+	default:
+		return fmt.Sprintf("Rel(%d)", int8(r))
+	}
+}
+
+// Kind discriminates the three expression shapes that occur in skyline
+// conditions.
+type Kind int8
+
+const (
+	// VarLTConst is "X < C".
+	VarLTConst Kind = iota
+	// VarGTConst is "X > C".
+	VarGTConst
+	// VarGTVar is "X > Y".
+	VarGTVar
+)
+
+// Expr is one expression (disjunct) of a condition clause and equally one
+// crowd task: an inequality whose left operand is always a variable. Expr
+// is a comparable value type so it can key maps (frequency counting, task
+// dedup).
+type Expr struct {
+	Kind Kind
+	X    Var
+	// Y is the right operand for VarGTVar.
+	Y Var
+	// C is the right operand for VarLTConst / VarGTConst.
+	C int
+}
+
+// LTConst returns the expression "x < c".
+func LTConst(x Var, c int) Expr { return Expr{Kind: VarLTConst, X: x, C: c} }
+
+// GTConst returns the expression "x > c".
+func GTConst(x Var, c int) Expr { return Expr{Kind: VarGTConst, X: x, C: c} }
+
+// GTVar returns the expression "x > y".
+func GTVar(x, y Var) Expr { return Expr{Kind: VarGTVar, X: x, Y: y} }
+
+// Vars appends the variables referenced by the expression to dst and
+// returns it.
+func (e Expr) Vars(dst []Var) []Var {
+	dst = append(dst, e.X)
+	if e.Kind == VarGTVar {
+		dst = append(dst, e.Y)
+	}
+	return dst
+}
+
+// EvalAssign evaluates the expression under a (possibly partial) variable
+// assignment. decided is false when a referenced variable is unassigned.
+func (e Expr) EvalAssign(assign map[Var]int) (value, decided bool) {
+	x, okX := assign[e.X]
+	if !okX {
+		return false, false
+	}
+	switch e.Kind {
+	case VarLTConst:
+		return x < e.C, true
+	case VarGTConst:
+		return x > e.C, true
+	case VarGTVar:
+		y, okY := assign[e.Y]
+		if !okY {
+			return false, false
+		}
+		return x > y, true
+	default:
+		panic(fmt.Sprintf("ctable: unknown expression kind %d", e.Kind))
+	}
+}
+
+// Holds reports whether the expression is satisfied when its left operand
+// takes value x and (for VarGTVar) its right operand takes value y; y is
+// ignored for constant comparisons.
+func (e Expr) Holds(x, y int) bool {
+	switch e.Kind {
+	case VarLTConst:
+		return x < e.C
+	case VarGTConst:
+		return x > e.C
+	case VarGTVar:
+		return x > y
+	default:
+		panic(fmt.Sprintf("ctable: unknown expression kind %d", e.Kind))
+	}
+}
+
+// String renders the expression in the paper's notation, e.g.
+// "Var(o5,a2) < 2".
+func (e Expr) String() string {
+	switch e.Kind {
+	case VarLTConst:
+		return fmt.Sprintf("%v < %d", e.X, e.C)
+	case VarGTConst:
+		return fmt.Sprintf("%v > %d", e.X, e.C)
+	case VarGTVar:
+		return fmt.Sprintf("%v > %v", e.X, e.Y)
+	default:
+		return fmt.Sprintf("Expr(kind=%d)", e.Kind)
+	}
+}

@@ -1,0 +1,249 @@
+package ctable
+
+import (
+	"fmt"
+
+	"bayescrowd/internal/dataset"
+)
+
+// Knowledge accumulates what crowd answers have revealed about the
+// variables: an interval of still-possible values per variable (answers
+// against constants only ever shrink an interval) and the known relation
+// between variable pairs that were compared directly.
+//
+// It is the machinery behind the paper's observation (§7.3) that
+// BayesCrowd "is able to infer some preference information in tasks using
+// returned answers": one answer narrows a variable for every condition
+// that mentions it, and interval reasoning can decide var-vs-var
+// expressions that were never asked.
+type Knowledge struct {
+	levels []int // per attribute
+	lo, hi map[Var]int
+	rel    map[[2]Var]Rel // key ordered by variable identity; value oriented as key[0] REL key[1]
+
+	// NoInference disables all cross-expression reasoning: an answer
+	// decides only the literally asked expression, the way a system
+	// without the c-table/interval machinery (e.g. CrowdSky) consumes
+	// answers. It exists for the answer-propagation ablation benchmark.
+	NoInference bool
+	exprTruth   map[Expr]bool
+}
+
+// NewKnowledge returns empty knowledge over the dataset's attribute
+// domains.
+func NewKnowledge(d *dataset.Dataset) *Knowledge {
+	levels := make([]int, d.NumAttrs())
+	for j, a := range d.Attrs {
+		levels[j] = a.Levels
+	}
+	return &Knowledge{
+		levels: levels,
+		lo:     map[Var]int{}, hi: map[Var]int{},
+		rel:       map[[2]Var]Rel{},
+		exprTruth: map[Expr]bool{},
+	}
+}
+
+// Bounds returns the inclusive interval of values still possible for x.
+func (k *Knowledge) Bounds(x Var) (lo, hi int) {
+	lo, hi = 0, k.levels[x.Attr]-1
+	if l, ok := k.lo[x]; ok && l > lo {
+		lo = l
+	}
+	if h, ok := k.hi[x]; ok && h < hi {
+		hi = h
+	}
+	return lo, hi
+}
+
+// Pinned reports whether x is known exactly, and its value.
+func (k *Knowledge) Pinned(x Var) (int, bool) {
+	lo, hi := k.Bounds(x)
+	if lo == hi {
+		return lo, true
+	}
+	return 0, false
+}
+
+// ErrConflict is returned when an answer contradicts earlier knowledge
+// (possible with imperfect workers); the conflicting answer is discarded
+// and the previous state kept.
+var ErrConflict = fmt.Errorf("ctable: answer conflicts with existing knowledge")
+
+// Absorb records the crowd's answer rel for the expression's comparison
+// (left operand REL right operand). For constant comparisons the
+// variable's interval shrinks; for variable pairs the relation is stored.
+// It returns ErrConflict — leaving the knowledge unchanged — if the answer
+// would empty the variable's domain or contradict a stored relation.
+func (k *Knowledge) Absorb(e Expr, rel Rel) error {
+	if k.NoInference {
+		k.exprTruth[e] = exprTruthFromRel(e, rel)
+		return nil
+	}
+	switch e.Kind {
+	case VarLTConst, VarGTConst:
+		lo, hi := k.Bounds(e.X)
+		nlo, nhi := lo, hi
+		switch rel {
+		case LT:
+			if e.C-1 < nhi {
+				nhi = e.C - 1
+			}
+		case EQ:
+			nlo, nhi = max(nlo, e.C), min(nhi, e.C)
+		case GT:
+			if e.C+1 > nlo {
+				nlo = e.C + 1
+			}
+		}
+		if nlo > nhi {
+			return ErrConflict
+		}
+		k.lo[e.X], k.hi[e.X] = nlo, nhi
+		return nil
+	case VarGTVar:
+		key, oriented := pairKey(e.X, e.Y, rel)
+		if old, ok := k.rel[key]; ok && old != oriented {
+			return ErrConflict
+		}
+		k.rel[key] = oriented
+		return nil
+	default:
+		panic(fmt.Sprintf("ctable: unknown expression kind %d", e.Kind))
+	}
+}
+
+// pairKey canonicalises an ordered pair (x REL y) so that the map key is
+// identity-ordered and the relation is flipped when the operands swap.
+func pairKey(x, y Var, rel Rel) (key [2]Var, oriented Rel) {
+	if varLess(x, y) {
+		return [2]Var{x, y}, rel
+	}
+	switch rel {
+	case LT:
+		rel = GT
+	case GT:
+		rel = LT
+	}
+	return [2]Var{y, x}, rel
+}
+
+func varLess(a, b Var) bool {
+	if a.Obj != b.Obj {
+		return a.Obj < b.Obj
+	}
+	return a.Attr < b.Attr
+}
+
+// relation returns the stored relation x REL y, if any.
+func (k *Knowledge) relation(x, y Var) (Rel, bool) {
+	key, _ := pairKey(x, y, EQ)
+	r, ok := k.rel[key]
+	if !ok {
+		return 0, false
+	}
+	if !varLess(x, y) {
+		switch r {
+		case LT:
+			r = GT
+		case GT:
+			r = LT
+		}
+	}
+	return r, true
+}
+
+// exprTruthFromRel converts a crowd answer (left REL right) into the truth
+// value of the asked expression.
+func exprTruthFromRel(e Expr, rel Rel) bool {
+	switch e.Kind {
+	case VarLTConst:
+		return rel == LT
+	case VarGTConst, VarGTVar:
+		return rel == GT
+	default:
+		panic(fmt.Sprintf("ctable: unknown expression kind %d", e.Kind))
+	}
+}
+
+// Eval decides the expression if current knowledge suffices: interval
+// reasoning for constant comparisons and both stored relations and
+// disjoint intervals for variable pairs. Under NoInference only exactly
+// answered expressions are decided.
+func (k *Knowledge) Eval(e Expr) (value, decided bool) {
+	if k.NoInference {
+		v, ok := k.exprTruth[e]
+		return v, ok
+	}
+	switch e.Kind {
+	case VarLTConst:
+		lo, hi := k.Bounds(e.X)
+		if hi < e.C {
+			return true, true
+		}
+		if lo >= e.C {
+			return false, true
+		}
+		return false, false
+	case VarGTConst:
+		lo, hi := k.Bounds(e.X)
+		if lo > e.C {
+			return true, true
+		}
+		if hi <= e.C {
+			return false, true
+		}
+		return false, false
+	case VarGTVar:
+		if r, ok := k.relation(e.X, e.Y); ok {
+			return r == GT, true
+		}
+		loX, hiX := k.Bounds(e.X)
+		loY, hiY := k.Bounds(e.Y)
+		if loX > hiY {
+			return true, true
+		}
+		if hiX <= loY {
+			return false, true
+		}
+		return false, false
+	default:
+		panic(fmt.Sprintf("ctable: unknown expression kind %d", e.Kind))
+	}
+}
+
+// TrueRel returns the ground-truth relation between the expression's
+// operands given the complete dataset — what a perfectly accurate worker
+// answers (left operand REL right operand).
+func TrueRel(truth *dataset.Dataset, e Expr) Rel {
+	x := truth.Value(e.X.Obj, e.X.Attr)
+	var y int
+	switch e.Kind {
+	case VarLTConst, VarGTConst:
+		y = e.C
+	case VarGTVar:
+		y = truth.Value(e.Y.Obj, e.Y.Attr)
+	}
+	switch {
+	case x < y:
+		return LT
+	case x > y:
+		return GT
+	default:
+		return EQ
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

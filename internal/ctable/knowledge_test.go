@@ -1,0 +1,176 @@
+package ctable
+
+import (
+	"testing"
+
+	"bayescrowd/internal/dataset"
+)
+
+func TestKnowledgeBoundsDefault(t *testing.T) {
+	k := knowledgeOver(10, 5)
+	lo, hi := k.Bounds(v(0, 0))
+	if lo != 0 || hi != 9 {
+		t.Fatalf("Bounds = [%d,%d], want [0,9]", lo, hi)
+	}
+	lo, hi = k.Bounds(v(3, 1))
+	if lo != 0 || hi != 4 {
+		t.Fatalf("Bounds = [%d,%d], want [0,4]", lo, hi)
+	}
+}
+
+func TestAbsorbConstAnswers(t *testing.T) {
+	k := knowledgeOver(10)
+	x := v(0, 0)
+	// Task "x vs 6" answered LT: x in [0,5].
+	if err := k.Absorb(LTConst(x, 6), LT); err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := k.Bounds(x); lo != 0 || hi != 5 {
+		t.Fatalf("Bounds = [%d,%d], want [0,5]", lo, hi)
+	}
+	// Task "x vs 2" answered GT: x in [3,5].
+	if err := k.Absorb(GTConst(x, 2), GT); err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := k.Bounds(x); lo != 3 || hi != 5 {
+		t.Fatalf("Bounds = [%d,%d], want [3,5]", lo, hi)
+	}
+	// Equality pins it.
+	if err := k.Absorb(LTConst(x, 4), EQ); err != nil {
+		t.Fatal(err)
+	}
+	if val, ok := k.Pinned(x); !ok || val != 4 {
+		t.Fatalf("Pinned = %d,%v, want 4,true", val, ok)
+	}
+}
+
+func TestAbsorbConflictKeepsState(t *testing.T) {
+	k := knowledgeOver(10)
+	x := v(0, 0)
+	if err := k.Absorb(LTConst(x, 3), LT); err != nil { // x in [0,2]
+		t.Fatal(err)
+	}
+	if err := k.Absorb(GTConst(x, 5), GT); err != ErrConflict {
+		t.Fatalf("conflicting answer returned %v, want ErrConflict", err)
+	}
+	if lo, hi := k.Bounds(x); lo != 0 || hi != 2 {
+		t.Fatalf("Bounds after conflict = [%d,%d], want unchanged [0,2]", lo, hi)
+	}
+}
+
+func TestAbsorbVarVarAndFlip(t *testing.T) {
+	k := knowledgeOver(10)
+	x, y := v(0, 0), v(1, 0)
+	// Answer: x > y.
+	if err := k.Absorb(GTVar(x, y), GT); err != nil {
+		t.Fatal(err)
+	}
+	if val, decided := k.Eval(GTVar(x, y)); !decided || !val {
+		t.Fatalf("Eval(x>y) = %v,%v", val, decided)
+	}
+	// The flipped expression y > x must be decided false.
+	if val, decided := k.Eval(GTVar(y, x)); !decided || val {
+		t.Fatalf("Eval(y>x) = %v,%v, want false,true", val, decided)
+	}
+	// Contradicting relation is rejected.
+	if err := k.Absorb(GTVar(y, x), GT); err != ErrConflict {
+		t.Fatalf("contradicting relation returned %v", err)
+	}
+	// Re-asserting the same fact in flipped orientation is fine.
+	if err := k.Absorb(GTVar(y, x), LT); err != nil {
+		t.Fatalf("consistent flipped relation rejected: %v", err)
+	}
+}
+
+func TestEvalConstExpr(t *testing.T) {
+	k := knowledgeOver(10)
+	x := v(0, 0)
+	if err := k.Absorb(LTConst(x, 4), LT); err != nil { // x in [0,3]
+		t.Fatal(err)
+	}
+	cases := []struct {
+		e            Expr
+		val, decided bool
+	}{
+		{LTConst(x, 4), true, true},
+		{LTConst(x, 5), true, true},
+		{LTConst(x, 3), false, false}, // x could be 0..3
+		{GTConst(x, 3), false, true},
+		{GTConst(x, 2), false, false},
+		{LTConst(v(5, 0), 4), false, false}, // unconstrained var
+	}
+	for _, tc := range cases {
+		val, decided := k.Eval(tc.e)
+		if val != tc.val || decided != tc.decided {
+			t.Errorf("Eval(%v) = %v,%v, want %v,%v", tc.e, val, decided, tc.val, tc.decided)
+		}
+	}
+}
+
+func TestEvalVarVarByIntervals(t *testing.T) {
+	k := knowledgeOver(10)
+	x, y := v(0, 0), v(1, 0)
+	if err := k.Absorb(GTConst(x, 6), GT); err != nil { // x in [7,9]
+		t.Fatal(err)
+	}
+	if err := k.Absorb(LTConst(y, 5), LT); err != nil { // y in [0,4]
+		t.Fatal(err)
+	}
+	// Disjoint intervals decide x > y without a direct comparison task —
+	// the "inference" that saves BayesCrowd crowd tasks.
+	if val, decided := k.Eval(GTVar(x, y)); !decided || !val {
+		t.Fatalf("Eval(x>y) = %v,%v, want true,true", val, decided)
+	}
+	// And y > x is decided false: hi(y)=4 <= lo(x)=7.
+	if val, decided := k.Eval(GTVar(y, x)); !decided || val {
+		t.Fatalf("Eval(y>x) = %v,%v, want false,true", val, decided)
+	}
+}
+
+func TestEvalVarVarTouchingIntervals(t *testing.T) {
+	k := knowledgeOver(10)
+	x, y := v(0, 0), v(1, 0)
+	// x in [0,4], y in [4,9]: x > y impossible (x <= 4 <= y), decided false.
+	if err := k.Absorb(LTConst(x, 5), LT); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Absorb(GTConst(y, 3), GT); err != nil {
+		t.Fatal(err)
+	}
+	if val, decided := k.Eval(GTVar(x, y)); !decided || val {
+		t.Fatalf("Eval(x>y) = %v,%v, want false,true", val, decided)
+	}
+	// y > x is NOT decided: both could be 4.
+	if _, decided := k.Eval(GTVar(y, x)); decided {
+		t.Fatal("Eval(y>x) decided despite possible tie")
+	}
+}
+
+func TestTrueRel(t *testing.T) {
+	truth := dataset.FromRows(
+		[]dataset.Attribute{{Name: "a", Levels: 10}, {Name: "b", Levels: 10}},
+		[][]int{{3, 7}, {5, 7}},
+	)
+	cases := []struct {
+		e    Expr
+		want Rel
+	}{
+		{LTConst(v(0, 0), 5), LT}, // 3 vs 5
+		{LTConst(v(0, 0), 3), EQ},
+		{GTConst(v(1, 0), 4), GT},         // 5 vs 4
+		{GTVar(v(0, 0), v(1, 0)), LT},     // 3 vs 5
+		{GTVar(v(0, 1), v(1, 1)), EQ},     // 7 vs 7
+		{GTVar(Var{1, 0}, Var{0, 0}), GT}, // 5 vs 3
+	}
+	for _, tc := range cases {
+		if got := TrueRel(truth, tc.e); got != tc.want {
+			t.Errorf("TrueRel(%v) = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if LT.String() != "<" || EQ.String() != "=" || GT.String() != ">" {
+		t.Fatal("Rel.String broken")
+	}
+}

@@ -1,0 +1,157 @@
+package ctable
+
+import (
+	"math/rand"
+	"testing"
+
+	"bayescrowd/internal/dataset"
+)
+
+// TestSimplifyPreservesSemantics is the soundness property of condition
+// simplification: for every full variable assignment *consistent with the
+// accumulated knowledge*, the simplified condition evaluates exactly like
+// the original. Knowledge here is produced the way the framework produces
+// it — by absorbing answers that are true under a hidden ground
+// assignment — so consistency is guaranteed by construction.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 200; trial++ {
+		const levels = 4
+		nVars := 2 + rng.Intn(4)
+		attrs := make([]dataset.Attribute, 1)
+		attrs[0] = dataset.Attribute{Name: "a", Levels: levels}
+		schema := dataset.New(attrs)
+
+		vars := make([]Var, nVars)
+		for i := range vars {
+			vars[i] = Var{Obj: i, Attr: 0}
+		}
+
+		// Hidden ground assignment the "crowd" answers from.
+		ground := map[Var]int{}
+		for _, v := range vars {
+			ground[v] = rng.Intn(levels)
+		}
+
+		// Random CNF over the variables.
+		nClauses := 1 + rng.Intn(4)
+		clauses := make([][]Expr, 0, nClauses)
+		for c := 0; c < nClauses; c++ {
+			var clause []Expr
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				x := vars[rng.Intn(nVars)]
+				switch rng.Intn(3) {
+				case 0:
+					clause = append(clause, LTConst(x, 1+rng.Intn(levels)))
+				case 1:
+					clause = append(clause, GTConst(x, rng.Intn(levels-1)))
+				default:
+					y := vars[rng.Intn(nVars)]
+					if y != x {
+						clause = append(clause, GTVar(x, y))
+					} else {
+						clause = append(clause, GTConst(x, 0))
+					}
+				}
+			}
+			clauses = append(clauses, clause)
+		}
+		orig := FromClauses(clauses)
+		if _, decided := orig.Decided(); decided {
+			continue
+		}
+
+		// Absorb a few truthful answers about random expressions.
+		know := NewKnowledge(schema)
+		exprs := orig.Exprs()
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			e := exprs[rng.Intn(len(exprs))]
+			if err := know.Absorb(e, relUnder(ground, e)); err != nil {
+				t.Fatalf("trial %d: truthful answer conflicted: %v", trial, err)
+			}
+		}
+
+		simplified := orig.Clone()
+		simplified.Simplify(know)
+
+		// Check every assignment consistent with the knowledge.
+		assign := map[Var]int{}
+		var rec func(i int)
+		rec = func(i int) {
+			if i == nVars {
+				if !consistent(know, orig, assign) {
+					return
+				}
+				wantV, wantD := orig.EvalAssign(assign)
+				gotV, gotD := simplified.EvalAssign(assign)
+				if !wantD || !gotD {
+					t.Fatalf("trial %d: undecided under full assignment", trial)
+				}
+				if gotV != wantV {
+					t.Fatalf("trial %d: assignment %v: original=%v simplified=%v\norig: %v\nsimp: %v",
+						trial, assign, wantV, gotV, orig, simplified)
+				}
+				return
+			}
+			for val := 0; val < levels; val++ {
+				assign[vars[i]] = val
+				rec(i + 1)
+			}
+			delete(assign, vars[i])
+		}
+		rec(0)
+	}
+}
+
+// relUnder returns the true relation of e's operands under the ground
+// assignment.
+func relUnder(ground map[Var]int, e Expr) Rel {
+	x := ground[e.X]
+	y := e.C
+	if e.Kind == VarGTVar {
+		y = ground[e.Y]
+	}
+	switch {
+	case x < y:
+		return LT
+	case x > y:
+		return GT
+	default:
+		return EQ
+	}
+}
+
+// consistent reports whether the assignment agrees with everything the
+// knowledge asserts about the variables of the condition.
+func consistent(k *Knowledge, c *Condition, assign map[Var]int) bool {
+	for _, v := range c.Vars() {
+		lo, hi := k.Bounds(v)
+		if assign[v] < lo || assign[v] > hi {
+			return false
+		}
+	}
+	// Pairwise relations: evaluate each stored relation as an expression
+	// against the assignment.
+	for key, rel := range k.rel {
+		x, ok1 := assign[key[0]]
+		y, ok2 := assign[key[1]]
+		if !ok1 || !ok2 {
+			continue
+		}
+		switch rel {
+		case LT:
+			if !(x < y) {
+				return false
+			}
+		case GT:
+			if !(x > y) {
+				return false
+			}
+		default:
+			if x != y {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package ctable
+
+import (
+	"math/rand"
+	"testing"
+
+	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/skyline"
+)
+
+// TestPossibleWorldsEquivalence is the deepest validation of the modeling
+// phase: for small incomplete datasets it enumerates every possible world
+// (every joint assignment of the missing cells) and checks that the
+// c-table condition φ(o), evaluated under that world, agrees with actual
+// skyline membership of o in the completed world — the defining property
+// of the c-table representation (Definition 3).
+//
+// Worlds where some object acquires an exact duplicate are skipped: under
+// the paper's strict-inequality clauses such ties read as dominance
+// (documented deviation, see Build).
+func TestPossibleWorldsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 20; trial++ {
+		// Small enough for full world enumeration: ≤ 6 missing cells over
+		// ≤ 4-level domains → ≤ 4096 worlds.
+		n := 4 + rng.Intn(4)
+		dAttrs := 2 + rng.Intn(2)
+		levels := 2 + rng.Intn(3)
+		truth := dataset.GenIndependent(rng, n, dAttrs, levels)
+		inc := truth.InjectMissing(rng, 0.25)
+
+		var vars []Var
+		for i := range inc.Objects {
+			for j, c := range inc.Objects[i].Cells {
+				if c.Missing {
+					vars = append(vars, Var{Obj: i, Attr: j})
+				}
+			}
+		}
+		if len(vars) > 7 {
+			continue // keep enumeration small
+		}
+
+		ct := Build(inc, BuildOptions{Alpha: 0})
+
+		world := inc.Clone()
+		assign := map[Var]int{}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == len(vars) {
+				checkWorld(t, trial, ct, world, assign)
+				return
+			}
+			v := vars[k]
+			for val := 0; val < inc.Attrs[v.Attr].Levels; val++ {
+				assign[v] = val
+				world.Objects[v.Obj].Cells[v.Attr] = dataset.Known(val)
+				rec(k + 1)
+			}
+			delete(assign, v)
+			world.Objects[v.Obj].Cells[v.Attr] = dataset.Unknown()
+		}
+		rec(0)
+	}
+}
+
+func checkWorld(t *testing.T, trial int, ct *CTable, world *dataset.Dataset, assign map[Var]int) {
+	t.Helper()
+	sky := map[int]bool{}
+	for _, i := range skyline.BNL(world) {
+		sky[i] = true
+	}
+	for o, cond := range ct.Conds {
+		got, decided := cond.EvalAssign(assign)
+		if !decided {
+			t.Fatalf("trial %d: φ(o%d) undecided under a full world", trial, o+1)
+		}
+		if got == sky[o] {
+			continue
+		}
+		// Tie escape hatch: strict clauses read a full tie as dominance.
+		if !got && sky[o] && hasFullTie(world, o) {
+			continue
+		}
+		t.Fatalf("trial %d: world %v: φ(o%d)=%v but skyline membership=%v",
+			trial, assign, o+1, got, sky[o])
+	}
+}

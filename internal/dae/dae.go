@@ -1,0 +1,290 @@
+// Package dae implements a denoising autoencoder for missing-value
+// distribution estimation — the alternative preprocessing model the paper
+// names in §3 ("one can alternatively employ autoencoder architectures
+// [Gondara & Wang, 2017] to capture complex distributions") as a
+// replacement for the Bayesian network.
+//
+// The model is a single-hidden-layer network over one-hot encoded
+// attributes: corrupt a complete row by masking random attributes, feed
+// the remaining one-hots, and train the per-attribute softmax outputs to
+// reconstruct the full row (cross-entropy loss, plain SGD). At query time
+// an object's observed cells go in and the softmax block of each missing
+// attribute comes out as its value distribution — the same posterior role
+// the Bayesian network plays, learned without a structure search.
+//
+// Everything is stdlib: the network is small (tens of hidden units over
+// at most a few hundred input dimensions), so simple per-sample SGD
+// converges in seconds.
+package dae
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/prob"
+)
+
+// Options tunes training; the zero value gets sensible defaults.
+type Options struct {
+	// Hidden is the hidden-layer width (default 32).
+	Hidden int
+	// Epochs is the number of passes over the complete rows (default 30).
+	Epochs int
+	// LearningRate for SGD (default 0.05).
+	LearningRate float64
+	// MaskProb is the per-attribute corruption probability during
+	// training (default 0.25); at least one attribute is always masked.
+	MaskProb float64
+	// Rng seeds initialisation, shuffling and masking; defaults to a
+	// fixed seed.
+	Rng *rand.Rand
+}
+
+func (o Options) withDefaults() Options {
+	if o.Hidden == 0 {
+		o.Hidden = 32
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 30
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.05
+	}
+	if o.MaskProb == 0 {
+		o.MaskProb = 0.25
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// Model is a trained denoising autoencoder over a dataset schema.
+type Model struct {
+	attrs   []dataset.Attribute
+	offsets []int // input/output base index per attribute
+	inDim   int
+	hidden  int
+	// w1 is hidden×(inDim+1) (last column bias); w2 is inDim×(hidden+1).
+	w1, w2 [][]float64
+}
+
+// Train fits the autoencoder on the dataset's complete rows. It fails
+// when fewer than 20 complete rows exist.
+func Train(d *dataset.Dataset, opt Options) (*Model, error) {
+	opt = opt.withDefaults()
+
+	rows := d.CompleteRows()
+	if len(rows) < 20 {
+		return nil, fmt.Errorf("dae: %d complete rows; need at least 20", len(rows))
+	}
+
+	m := &Model{
+		attrs:   append([]dataset.Attribute(nil), d.Attrs...),
+		offsets: make([]int, d.NumAttrs()),
+		hidden:  opt.Hidden,
+	}
+	for j, a := range d.Attrs {
+		m.offsets[j] = m.inDim
+		m.inDim += a.Levels
+	}
+	m.w1 = randMatrix(opt.Rng, m.hidden, m.inDim+1, 1/math.Sqrt(float64(m.inDim)))
+	m.w2 = randMatrix(opt.Rng, m.inDim, m.hidden+1, 1/math.Sqrt(float64(m.hidden)))
+
+	x := make([]float64, m.inDim)
+	h := make([]float64, m.hidden)
+	logits := make([]float64, m.inDim)
+	probs := make([]float64, m.inDim)
+	dh := make([]float64, m.hidden)
+	masked := make([]bool, d.NumAttrs())
+	order := make([]int, len(rows))
+	for i := range order {
+		order[i] = i
+	}
+
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		opt.Rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, ri := range order {
+			row := rows[ri]
+
+			// Corrupt: mask random attributes (at least one).
+			any := false
+			for j := range masked {
+				masked[j] = opt.Rng.Float64() < opt.MaskProb
+				any = any || masked[j]
+			}
+			if !any {
+				masked[opt.Rng.Intn(len(masked))] = true
+			}
+
+			m.encodeInput(row, masked, x)
+			m.forward(x, h, logits, probs)
+			m.backward(opt.LearningRate, row, x, h, probs, dh)
+		}
+	}
+	return m, nil
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int, scale float64) [][]float64 {
+	w := make([][]float64, rows)
+	for i := range w {
+		w[i] = make([]float64, cols)
+		for k := range w[i] {
+			w[i][k] = rng.NormFloat64() * scale
+		}
+	}
+	return w
+}
+
+// encodeInput writes the one-hot encoding of the row into x, zeroing the
+// blocks of masked/missing attributes.
+func (m *Model) encodeInput(row []int, masked []bool, x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+	for j := range m.attrs {
+		if masked != nil && masked[j] {
+			continue
+		}
+		if row[j] >= 0 {
+			x[m.offsets[j]+row[j]] = 1
+		}
+	}
+}
+
+// forward computes h = tanh(w1·[x;1]) and per-attribute softmax outputs.
+func (m *Model) forward(x, h, logits, probs []float64) {
+	for u := 0; u < m.hidden; u++ {
+		sum := m.w1[u][m.inDim] // bias
+		wu := m.w1[u]
+		for i, xi := range x {
+			if xi != 0 {
+				sum += wu[i] * xi
+			}
+		}
+		h[u] = math.Tanh(sum)
+	}
+	for o := 0; o < m.inDim; o++ {
+		sum := m.w2[o][m.hidden] // bias
+		wo := m.w2[o]
+		for u, hu := range h {
+			sum += wo[u] * hu
+		}
+		logits[o] = sum
+	}
+	// Softmax per attribute block.
+	for j, a := range m.attrs {
+		base := m.offsets[j]
+		maxL := logits[base]
+		for v := 1; v < a.Levels; v++ {
+			if logits[base+v] > maxL {
+				maxL = logits[base+v]
+			}
+		}
+		sum := 0.0
+		for v := 0; v < a.Levels; v++ {
+			probs[base+v] = math.Exp(logits[base+v] - maxL)
+			sum += probs[base+v]
+		}
+		for v := 0; v < a.Levels; v++ {
+			probs[base+v] /= sum
+		}
+	}
+}
+
+// backward applies one SGD step of the cross-entropy reconstruction loss
+// (summed over every attribute block; softmax+CE gives the usual
+// probs-minus-onehot output gradient).
+func (m *Model) backward(lr float64, row []int, x, h, probs, dh []float64) {
+	for u := range dh {
+		dh[u] = 0
+	}
+	// Output layer gradients and hidden backprop accumulation.
+	for j, a := range m.attrs {
+		base := m.offsets[j]
+		for v := 0; v < a.Levels; v++ {
+			o := base + v
+			g := probs[o]
+			if v == row[j] {
+				g -= 1
+			}
+			if g == 0 {
+				continue
+			}
+			wo := m.w2[o]
+			for u, hu := range h {
+				dh[u] += g * wo[u]
+				wo[u] -= lr * g * hu
+			}
+			wo[m.hidden] -= lr * g // bias
+		}
+	}
+	// Hidden layer.
+	for u := 0; u < m.hidden; u++ {
+		gu := dh[u] * (1 - h[u]*h[u])
+		if gu == 0 {
+			continue
+		}
+		wu := m.w1[u]
+		for i, xi := range x {
+			if xi != 0 {
+				wu[i] -= lr * gu * xi
+			}
+		}
+		wu[m.inDim] -= lr * gu // bias
+	}
+}
+
+// Distributions returns, for every missing cell of the dataset, the
+// autoencoder's softmax distribution conditioned on the object's observed
+// cells — a drop-in replacement for the Bayesian-network posteriors
+// (core.Options.Imputer).
+func (m *Model) Distributions(d *dataset.Dataset) (prob.Dists, error) {
+	if len(d.Attrs) != len(m.attrs) {
+		return nil, fmt.Errorf("dae: dataset has %d attributes, model trained on %d", len(d.Attrs), len(m.attrs))
+	}
+	for j := range d.Attrs {
+		if d.Attrs[j].Levels != m.attrs[j].Levels {
+			return nil, fmt.Errorf("dae: attribute %q has %d levels, model trained with %d",
+				d.Attrs[j].Name, d.Attrs[j].Levels, m.attrs[j].Levels)
+		}
+	}
+
+	dists := prob.Dists{}
+	x := make([]float64, m.inDim)
+	h := make([]float64, m.hidden)
+	logits := make([]float64, m.inDim)
+	probsBuf := make([]float64, m.inDim)
+	row := make([]int, len(m.attrs))
+
+	for i := range d.Objects {
+		o := &d.Objects[i]
+		anyMissing := false
+		for j, c := range o.Cells {
+			if c.Missing {
+				row[j] = -1
+				anyMissing = true
+			} else {
+				row[j] = c.Value
+			}
+		}
+		if !anyMissing {
+			continue
+		}
+		m.encodeInput(row, nil, x)
+		m.forward(x, h, logits, probsBuf)
+		for j, c := range o.Cells {
+			if !c.Missing {
+				continue
+			}
+			base := m.offsets[j]
+			dist := make([]float64, m.attrs[j].Levels)
+			copy(dist, probsBuf[base:base+m.attrs[j].Levels])
+			dists[ctable.Var{Obj: i, Attr: j}] = dist
+		}
+	}
+	return dists, nil
+}

@@ -1,0 +1,141 @@
+package dae
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bayescrowd/internal/bayesnet"
+	"bayescrowd/internal/core"
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/metrics"
+	"bayescrowd/internal/skyline"
+)
+
+// correlatedPair builds a dataset from a strongly coupled 2-node network
+// plus incomplete probe objects.
+func correlatedPair(t *testing.T, coupling float64, n int) *dataset.Dataset {
+	t.Helper()
+	truth := bayesnet.MustNew([]bayesnet.Node{
+		{Name: "a1", Levels: 2, CPT: []float64{0.5, 0.5}},
+		{Name: "a2", Levels: 2, Parents: []int{0}, CPT: []float64{coupling, 1 - coupling, 1 - coupling, coupling}},
+	})
+	rng := rand.New(rand.NewSource(11))
+	d := dataset.New([]dataset.Attribute{{Name: "a1", Levels: 2}, {Name: "a2", Levels: 2}})
+	for i := 0; i < n; i++ {
+		row := truth.Sample(rng)
+		d.MustAppend(dataset.Object{Cells: []dataset.Cell{dataset.Known(row[0]), dataset.Known(row[1])}})
+	}
+	d.MustAppend(dataset.Object{ID: "hi", Cells: []dataset.Cell{dataset.Known(1), dataset.Unknown()}})
+	d.MustAppend(dataset.Object{ID: "lo", Cells: []dataset.Cell{dataset.Known(0), dataset.Unknown()}})
+	return d
+}
+
+func TestLearnsConditionalDependence(t *testing.T) {
+	d := correlatedPair(t, 0.9, 600)
+	m, err := Train(d, Options{Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists, err := m.Distributions(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := dists[ctable.Var{Obj: 600, Attr: 1}]
+	lo := dists[ctable.Var{Obj: 601, Attr: 1}]
+	// Truth: P(a2=0|a1=1) = 0.1, P(a2=0|a1=0) = 0.9.
+	if hi[0] > 0.3 || lo[0] < 0.7 {
+		t.Fatalf("conditional dependence not learned: P(a2=0|a1=1)=%v P(a2=0|a1=0)=%v", hi[0], lo[0])
+	}
+	for _, dist := range dists {
+		sum := 0.0
+		for _, p := range dist {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("distribution %v does not sum to 1", dist)
+		}
+	}
+}
+
+func TestTrainRequiresCompleteRows(t *testing.T) {
+	d := dataset.New([]dataset.Attribute{{Name: "a", Levels: 2}})
+	for i := 0; i < 30; i++ {
+		d.MustAppend(dataset.Object{Cells: []dataset.Cell{dataset.Unknown()}})
+	}
+	if _, err := Train(d, Options{}); err == nil {
+		t.Fatal("Train accepted a dataset with no complete rows")
+	}
+}
+
+func TestDistributionsSchemaMismatch(t *testing.T) {
+	d := correlatedPair(t, 0.8, 100)
+	m, err := Train(d, Options{Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.New([]dataset.Attribute{{Name: "a1", Levels: 2}})
+	if _, err := m.Distributions(other); err == nil {
+		t.Error("accepted attribute-count mismatch")
+	}
+	other3 := dataset.New([]dataset.Attribute{{Name: "a1", Levels: 3}, {Name: "a2", Levels: 2}})
+	if _, err := m.Distributions(other3); err == nil {
+		t.Error("accepted level mismatch")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	d := correlatedPair(t, 0.8, 200)
+	train := func() []float64 {
+		m, err := Train(d, Options{Epochs: 5, Rng: rand.New(rand.NewSource(3))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists, err := m.Distributions(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dists[ctable.Var{Obj: 200, Attr: 1}]
+	}
+	a, b := train(), train()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different models")
+		}
+	}
+}
+
+// TestImputerPluggedIntoFramework runs the full query with the
+// autoencoder as the preprocessing model and checks it performs in the
+// same league as the Bayesian network (the paper's point: either model
+// can provide the posteriors).
+func TestImputerPluggedIntoFramework(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	truth := dataset.GenNBA(rng, 500)
+	incomplete := truth.InjectMissing(rng, 0.1)
+	want := skyline.BNL(truth)
+
+	m, err := Train(incomplete, Options{Epochs: 15, Rng: rand.New(rand.NewSource(13))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opt core.Options) float64 {
+		opt.Alpha, opt.Budget, opt.Latency, opt.Strategy = 0.05, 40, 5, core.FBS
+		opt.Rng = rand.New(rand.NewSource(14))
+		res, err := core.Run(incomplete, crowd.NewSimulated(truth, 1.0, nil), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.F1(res.Answers, want)
+	}
+	daeF1 := run(core.Options{Imputer: m})
+	bnF1 := run(core.Options{Net: dataset.NBANet()})
+	if daeF1 < bnF1-0.15 {
+		t.Fatalf("autoencoder F1 %v far below Bayesian network %v", daeF1, bnF1)
+	}
+	if daeF1 < 0.5 {
+		t.Fatalf("autoencoder F1 %v unusably low", daeF1)
+	}
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MissingToken is the cell text that marks a missing value in CSV files,
+// both on read and write.
+const MissingToken = "?"
+
+// WriteCSV writes the dataset with a two-line header: the first line is
+// "id,<attr names...>", the second is "levels,<attr levels...>". Missing
+// cells are written as MissingToken.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+
+	head := make([]string, 1+len(d.Attrs))
+	head[0] = "id"
+	for j, a := range d.Attrs {
+		head[j+1] = a.Name
+	}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+
+	levels := make([]string, 1+len(d.Attrs))
+	levels[0] = "levels"
+	for j, a := range d.Attrs {
+		levels[j+1] = strconv.Itoa(a.Levels)
+	}
+	if err := cw.Write(levels); err != nil {
+		return err
+	}
+
+	row := make([]string, 1+len(d.Attrs))
+	for i := range d.Objects {
+		o := &d.Objects[i]
+		row[0] = o.ID
+		for j, c := range o.Cells {
+			if c.Missing {
+				row[j+1] = MissingToken
+			} else {
+				row[j+1] = strconv.Itoa(c.Value)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(head) < 2 || head[0] != "id" {
+		return nil, fmt.Errorf("dataset: malformed CSV header %q", strings.Join(head, ","))
+	}
+	levelsRow, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV levels row: %w", err)
+	}
+	if len(levelsRow) != len(head) || levelsRow[0] != "levels" {
+		return nil, fmt.Errorf("dataset: malformed CSV levels row")
+	}
+
+	attrs := make([]Attribute, len(head)-1)
+	for j := range attrs {
+		lv, err := strconv.Atoi(levelsRow[j+1])
+		if err != nil || lv < 1 {
+			return nil, fmt.Errorf("dataset: bad level count %q for attribute %q", levelsRow[j+1], head[j+1])
+		}
+		attrs[j] = Attribute{Name: head[j+1], Levels: lv}
+	}
+	d := New(attrs)
+
+	for line := 3; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(head) {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", line, len(rec), len(head))
+		}
+		o := Object{ID: rec[0], Cells: make([]Cell, len(attrs))}
+		for j := range attrs {
+			field := rec[j+1]
+			if field == MissingToken {
+				o.Cells[j] = Unknown()
+				continue
+			}
+			v, err := strconv.Atoi(field)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d attribute %q: %w", line, attrs[j].Name, err)
+			}
+			o.Cells[j] = Known(v)
+		}
+		if err := d.Append(o); err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+	}
+}

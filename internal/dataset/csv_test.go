@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	orig := GenIndependent(rng, 100, 5, 7).InjectMissing(rng, 0.15)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() || back.NumAttrs() != orig.NumAttrs() {
+		t.Fatalf("shape %dx%d, want %dx%d", back.Len(), back.NumAttrs(), orig.Len(), orig.NumAttrs())
+	}
+	for j, a := range orig.Attrs {
+		if back.Attrs[j] != a {
+			t.Fatalf("attr %d = %+v, want %+v", j, back.Attrs[j], a)
+		}
+	}
+	for i := range orig.Objects {
+		if back.Objects[i].ID != orig.Objects[i].ID {
+			t.Fatalf("object %d ID %q, want %q", i, back.Objects[i].ID, orig.Objects[i].ID)
+		}
+		for j := range orig.Attrs {
+			if back.Objects[i].Cells[j] != orig.Objects[i].Cells[j] {
+				t.Fatalf("cell (%d,%d) = %+v, want %+v", i, j, back.Objects[i].Cells[j], orig.Objects[i].Cells[j])
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripSampleMovies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, SampleMovies()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), MissingToken) {
+		t.Fatal("missing cells not serialised as MissingToken")
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Objects[1].Cells[1].Missing {
+		t.Fatal("missing cell lost in round trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "x,a\nlevels,3\n"},
+		{"missing levels row", "id,a\n"},
+		{"bad levels value", "id,a\nlevels,zero\n"},
+		{"zero levels", "id,a\nlevels,0\n"},
+		{"non-numeric cell", "id,a\nlevels,3\no1,x\n"},
+		{"out of range cell", "id,a\nlevels,3\no1,5\n"},
+		{"levels row misnamed", "id,a\nlvls,3\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("ReadCSV accepted %q input", tc.name)
+		}
+	}
+}

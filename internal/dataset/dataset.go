@@ -1,0 +1,268 @@
+// Package dataset defines the incomplete-data model used throughout the
+// BayesCrowd reproduction: objects with discrete-valued attributes in which
+// any cell may be missing.
+//
+// Following the paper (§3), continuous attributes are discretized into a
+// small number of levels before query processing, so every cell holds an
+// integer code in [0, Levels) and "larger is better" (Definition 1). A
+// missing cell is explicit — there are no NaN sentinels — and corresponds
+// to a variable Var(o, a) in the c-table model.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Cell is a single attribute value of an object. When Missing is true the
+// Value field is meaningless and the cell is represented by a variable in
+// the c-table.
+type Cell struct {
+	Missing bool
+	Value   int
+}
+
+// Known returns a present cell holding v.
+func Known(v int) Cell { return Cell{Value: v} }
+
+// Unknown returns a missing cell.
+func Unknown() Cell { return Cell{Missing: true} }
+
+// Attribute describes one column of a dataset.
+type Attribute struct {
+	// Name is a human-readable label (e.g. "total_points").
+	Name string
+	// Levels is the size of the discrete domain; valid codes are
+	// 0..Levels-1, where a larger code is better.
+	Levels int
+}
+
+// Object is one row: an identifier plus one cell per attribute.
+type Object struct {
+	// ID names the object (e.g. a movie title); it is not used by the
+	// algorithms, only for reporting.
+	ID    string
+	Cells []Cell
+}
+
+// IsComplete reports whether the object has no missing cells.
+func (o *Object) IsComplete() bool {
+	for _, c := range o.Cells {
+		if c.Missing {
+			return false
+		}
+	}
+	return true
+}
+
+// Dataset is a collection of objects over a fixed attribute schema.
+type Dataset struct {
+	Attrs   []Attribute
+	Objects []Object
+}
+
+// New returns an empty dataset with the given schema. It panics if any
+// attribute has fewer than one level.
+func New(attrs []Attribute) *Dataset {
+	for _, a := range attrs {
+		if a.Levels < 1 {
+			panic(fmt.Sprintf("dataset: attribute %q has %d levels", a.Name, a.Levels))
+		}
+	}
+	return &Dataset{Attrs: attrs}
+}
+
+// NumAttrs returns the number of attributes (d in the paper).
+func (d *Dataset) NumAttrs() int { return len(d.Attrs) }
+
+// Len returns the dataset cardinality |O|.
+func (d *Dataset) Len() int { return len(d.Objects) }
+
+// Append adds an object, validating its shape and cell ranges.
+func (d *Dataset) Append(o Object) error {
+	if len(o.Cells) != len(d.Attrs) {
+		return fmt.Errorf("dataset: object %q has %d cells, schema has %d attributes",
+			o.ID, len(o.Cells), len(d.Attrs))
+	}
+	for j, c := range o.Cells {
+		if !c.Missing && (c.Value < 0 || c.Value >= d.Attrs[j].Levels) {
+			return fmt.Errorf("dataset: object %q attribute %q value %d outside [0,%d)",
+				o.ID, d.Attrs[j].Name, c.Value, d.Attrs[j].Levels)
+		}
+	}
+	d.Objects = append(d.Objects, o)
+	return nil
+}
+
+// MustAppend is Append that panics on error, for tests and generators.
+func (d *Dataset) MustAppend(o Object) {
+	if err := d.Append(o); err != nil {
+		panic(err)
+	}
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{
+		Attrs:   append([]Attribute(nil), d.Attrs...),
+		Objects: make([]Object, len(d.Objects)),
+	}
+	for i, o := range d.Objects {
+		c.Objects[i] = Object{ID: o.ID, Cells: append([]Cell(nil), o.Cells...)}
+	}
+	return c
+}
+
+// Truncate returns a copy holding only the first n objects. It panics if n
+// exceeds the cardinality. Cardinality sweeps in the benchmarks use it to
+// subset a generated dataset.
+func (d *Dataset) Truncate(n int) *Dataset {
+	if n < 0 || n > len(d.Objects) {
+		panic(fmt.Sprintf("dataset: Truncate(%d) with %d objects", n, len(d.Objects)))
+	}
+	c := d.Clone()
+	c.Objects = c.Objects[:n]
+	return c
+}
+
+// IsComplete reports whether no cell in the dataset is missing.
+func (d *Dataset) IsComplete() bool {
+	for i := range d.Objects {
+		if !d.Objects[i].IsComplete() {
+			return false
+		}
+	}
+	return true
+}
+
+// MissingRate returns the ratio of missing cells to total cells (the
+// paper's dataset missing rate). It is 0 for an empty dataset.
+func (d *Dataset) MissingRate() float64 {
+	total := len(d.Objects) * len(d.Attrs)
+	if total == 0 {
+		return 0
+	}
+	missing := 0
+	for i := range d.Objects {
+		for _, c := range d.Objects[i].Cells {
+			if c.Missing {
+				missing++
+			}
+		}
+	}
+	return float64(missing) / float64(total)
+}
+
+// MissingIn returns, for each attribute, the set of object indices whose
+// value in that attribute is missing (the paper's O_i sets).
+func (d *Dataset) MissingIn() [][]int {
+	out := make([][]int, len(d.Attrs))
+	for i := range d.Objects {
+		for j, c := range d.Objects[i].Cells {
+			if c.Missing {
+				out[j] = append(out[j], i)
+			}
+		}
+	}
+	return out
+}
+
+// InjectMissing returns a copy of the (typically complete) dataset in
+// which each cell has been hidden independently with probability rate,
+// mirroring the paper's experimental setup ("we delete attribute values
+// randomly"). The receiver is unmodified and serves as the ground truth.
+func (d *Dataset) InjectMissing(rng *rand.Rand, rate float64) *Dataset {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("dataset: missing rate %v outside [0,1]", rate))
+	}
+	c := d.Clone()
+	for i := range c.Objects {
+		for j := range c.Objects[i].Cells {
+			if rng.Float64() < rate {
+				c.Objects[i].Cells[j] = Unknown()
+			}
+		}
+	}
+	return c
+}
+
+// HideAttrs returns a copy in which every value of the named attribute
+// indices is missing. This reproduces the CrowdSky comparison setup
+// (§7.3): whole attributes become "crowd attributes" while the rest stay
+// complete.
+func (d *Dataset) HideAttrs(attrIdx ...int) *Dataset {
+	c := d.Clone()
+	for _, j := range attrIdx {
+		if j < 0 || j >= len(d.Attrs) {
+			panic(fmt.Sprintf("dataset: HideAttrs index %d outside [0,%d)", j, len(d.Attrs)))
+		}
+		for i := range c.Objects {
+			c.Objects[i].Cells[j] = Unknown()
+		}
+	}
+	return c
+}
+
+// CompleteRows extracts the fully observed objects as integer-coded rows
+// — the training set for every preprocessing model (Bayesian network,
+// autoencoder), which learn from complete evidence only.
+func (d *Dataset) CompleteRows() [][]int {
+	var rows [][]int
+	for i := range d.Objects {
+		o := &d.Objects[i]
+		if !o.IsComplete() {
+			continue
+		}
+		row := make([]int, len(o.Cells))
+		for j, c := range o.Cells {
+			row[j] = c.Value
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Schema returns the attribute names and domain sizes side by side, the
+// shape the learning APIs take.
+func (d *Dataset) Schema() (names []string, levels []int) {
+	names = make([]string, len(d.Attrs))
+	levels = make([]int, len(d.Attrs))
+	for j, a := range d.Attrs {
+		names[j] = a.Name
+		levels[j] = a.Levels
+	}
+	return names, levels
+}
+
+// InvertAttrs returns a copy in which the codes of the named attributes
+// are flipped (v ↦ Levels-1-v). Dominance always prefers larger codes
+// (Definition 1); inverting turns a smaller-is-better column (latency,
+// error rate, price) into the canonical orientation. Missing cells stay
+// missing. Invert both the query dataset and its ground truth with the
+// same indices so the simulated crowd stays consistent.
+func (d *Dataset) InvertAttrs(attrIdx ...int) *Dataset {
+	c := d.Clone()
+	for _, j := range attrIdx {
+		if j < 0 || j >= len(d.Attrs) {
+			panic(fmt.Sprintf("dataset: InvertAttrs index %d outside [0,%d)", j, len(d.Attrs)))
+		}
+		top := d.Attrs[j].Levels - 1
+		for i := range c.Objects {
+			if cell := c.Objects[i].Cells[j]; !cell.Missing {
+				c.Objects[i].Cells[j] = Known(top - cell.Value)
+			}
+		}
+	}
+	return c
+}
+
+// Value returns the true value of cell (i, j) in this dataset. It panics
+// if the cell is missing; ground-truth datasets used by the simulated
+// crowd are complete by construction.
+func (d *Dataset) Value(i, j int) int {
+	c := d.Objects[i].Cells[j]
+	if c.Missing {
+		panic(fmt.Sprintf("dataset: Value(%d,%d) of missing cell", i, j))
+	}
+	return c.Value
+}

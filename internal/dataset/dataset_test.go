@@ -1,0 +1,203 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAppendValidation(t *testing.T) {
+	d := New([]Attribute{{Name: "a", Levels: 3}, {Name: "b", Levels: 2}})
+	if err := d.Append(Object{ID: "ok", Cells: []Cell{Known(2), Unknown()}}); err != nil {
+		t.Fatalf("valid append failed: %v", err)
+	}
+	if err := d.Append(Object{ID: "short", Cells: []Cell{Known(0)}}); err == nil {
+		t.Error("append accepted wrong-width object")
+	}
+	if err := d.Append(Object{ID: "big", Cells: []Cell{Known(3), Known(0)}}); err == nil {
+		t.Error("append accepted out-of-domain value")
+	}
+	if err := d.Append(Object{ID: "neg", Cells: []Cell{Known(-1), Known(0)}}); err == nil {
+		t.Error("append accepted negative value")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestNewPanicsOnBadLevels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted zero-level attribute")
+		}
+	}()
+	New([]Attribute{{Name: "a", Levels: 0}})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := SampleMovies()
+	c := d.Clone()
+	c.Objects[0].Cells[0] = Known(9)
+	if d.Objects[0].Cells[0].Value == 9 {
+		t.Fatal("Clone shares cell storage")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	d := SampleMovies()
+	c := d.Truncate(2)
+	if c.Len() != 2 || d.Len() != 5 {
+		t.Fatalf("Truncate lens = %d/%d, want 2/5", c.Len(), d.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Truncate(10) did not panic")
+		}
+	}()
+	d.Truncate(10)
+}
+
+func TestMissingRateAndMissingIn(t *testing.T) {
+	d := SampleMovies()
+	// Table 1 has 5 missing cells out of 25 (o2.a2, o3.a3, o5.a2-a4).
+	if got, want := d.MissingRate(), 5.0/25.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MissingRate = %v, want %v", got, want)
+	}
+	mi := d.MissingIn()
+	// a2 (index 1) missing for o2 (index 1) and o5 (index 4).
+	if len(mi[1]) != 2 || mi[1][0] != 1 || mi[1][1] != 4 {
+		t.Fatalf("MissingIn[a2] = %v, want [1 4]", mi[1])
+	}
+	if len(mi[0]) != 0 || len(mi[4]) != 0 {
+		t.Fatalf("complete attributes report missing: %v, %v", mi[0], mi[4])
+	}
+	if d.IsComplete() {
+		t.Fatal("incomplete dataset reports complete")
+	}
+}
+
+func TestInjectMissingRateApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := GenIndependent(rng, 2000, 8, 10)
+	if !d.IsComplete() {
+		t.Fatal("generator produced incomplete data")
+	}
+	inc := d.InjectMissing(rng, 0.1)
+	if d.MissingRate() != 0 {
+		t.Fatal("InjectMissing mutated the receiver")
+	}
+	if got := inc.MissingRate(); math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("injected missing rate = %v, want ~0.1", got)
+	}
+	if zero := d.InjectMissing(rng, 0); zero.MissingRate() != 0 {
+		t.Fatal("rate 0 injected missing cells")
+	}
+	if one := d.InjectMissing(rng, 1); one.MissingRate() != 1 {
+		t.Fatal("rate 1 left cells present")
+	}
+}
+
+func TestInjectMissingPanicsOnBadRate(t *testing.T) {
+	d := SampleMovies()
+	for _, r := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("InjectMissing(%v) did not panic", r)
+				}
+			}()
+			d.InjectMissing(rand.New(rand.NewSource(1)), r)
+		}()
+	}
+}
+
+func TestHideAttrs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := GenIndependent(rng, 50, 4, 5)
+	h := d.HideAttrs(1, 3)
+	for i := range h.Objects {
+		if !h.Objects[i].Cells[1].Missing || !h.Objects[i].Cells[3].Missing {
+			t.Fatal("HideAttrs left a cell present")
+		}
+		if h.Objects[i].Cells[0].Missing || h.Objects[i].Cells[2].Missing {
+			t.Fatal("HideAttrs hid a non-selected attribute")
+		}
+	}
+	if got, want := h.MissingRate(), 0.5; got != want {
+		t.Fatalf("MissingRate = %v, want %v", got, want)
+	}
+}
+
+func TestValuePanicsOnMissing(t *testing.T) {
+	d := SampleMovies()
+	if got := d.Value(0, 0); got != 5 {
+		t.Fatalf("Value(0,0) = %d, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value of missing cell did not panic")
+		}
+	}()
+	d.Value(1, 1)
+}
+
+func TestSampleMoviesMatchesTable1(t *testing.T) {
+	d := SampleMovies()
+	if d.Len() != 5 || d.NumAttrs() != 5 {
+		t.Fatalf("sample shape %dx%d, want 5x5", d.Len(), d.NumAttrs())
+	}
+	want := [][]int{
+		{5, 2, 3, 4, 1},
+		{6, -1, 2, 2, 2},
+		{1, 1, -1, 5, 3},
+		{4, 3, 1, 2, 1},
+		{5, -1, -1, -1, 1},
+	}
+	for i, row := range want {
+		for j, v := range row {
+			c := d.Objects[i].Cells[j]
+			if v == -1 {
+				if !c.Missing {
+					t.Errorf("cell (%d,%d) should be missing", i, j)
+				}
+			} else if c.Missing || c.Value != v {
+				t.Errorf("cell (%d,%d) = %+v, want %d", i, j, c, v)
+			}
+		}
+	}
+}
+
+func TestInvertAttrs(t *testing.T) {
+	d := New([]Attribute{{Name: "a", Levels: 4}, {Name: "b", Levels: 6}})
+	d.MustAppend(Object{ID: "o1", Cells: []Cell{Known(0), Known(5)}})
+	d.MustAppend(Object{ID: "o2", Cells: []Cell{Known(3), Unknown()}})
+
+	inv := d.InvertAttrs(0)
+	if inv.Objects[0].Cells[0].Value != 3 || inv.Objects[1].Cells[0].Value != 0 {
+		t.Fatalf("inverted a: %+v / %+v", inv.Objects[0].Cells[0], inv.Objects[1].Cells[0])
+	}
+	if inv.Objects[0].Cells[1].Value != 5 {
+		t.Fatal("non-selected attribute changed")
+	}
+	if !inv.Objects[1].Cells[1].Missing {
+		t.Fatal("missing cell changed")
+	}
+	if d.Objects[0].Cells[0].Value != 0 {
+		t.Fatal("InvertAttrs mutated the receiver")
+	}
+	// Double inversion is the identity.
+	back := inv.InvertAttrs(0)
+	for i := range d.Objects {
+		for j := range d.Attrs {
+			if back.Objects[i].Cells[j] != d.Objects[i].Cells[j] {
+				t.Fatal("double inversion is not the identity")
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index did not panic")
+		}
+	}()
+	d.InvertAttrs(9)
+}

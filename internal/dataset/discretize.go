@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// A Discretizer maps a raw continuous value to an integer code in
+// [0, Levels). The paper (§3) partitions continuous domains into value
+// ranges and treats each range as one discrete value for the Bayesian
+// network; the two standard space-partitioning schemes are provided.
+type Discretizer interface {
+	// Code returns the discrete code for raw value v.
+	Code(v float64) int
+	// Levels returns the size of the discrete domain.
+	Levels() int
+}
+
+// binEdges discretizes by a sorted slice of interior cut points: code i
+// covers values in [edges[i-1], edges[i]).
+type binEdges struct {
+	edges []float64 // len = levels-1, strictly the interior boundaries
+}
+
+func (b binEdges) Levels() int { return len(b.edges) + 1 }
+
+func (b binEdges) Code(v float64) int {
+	// First edge strictly greater than v; v falls in that bin.
+	return sort.SearchFloat64s(b.edges, math.Nextafter(v, math.Inf(1)))
+}
+
+// EqualWidth returns a discretizer splitting [min, max] into `levels`
+// equally wide bins. Values outside the range clamp to the boundary bins.
+func EqualWidth(min, max float64, levels int) Discretizer {
+	if levels < 1 {
+		panic(fmt.Sprintf("dataset: EqualWidth with %d levels", levels))
+	}
+	if !(min < max) && levels > 1 {
+		panic(fmt.Sprintf("dataset: EqualWidth with empty range [%v,%v]", min, max))
+	}
+	edges := make([]float64, levels-1)
+	width := (max - min) / float64(levels)
+	for i := range edges {
+		edges[i] = min + width*float64(i+1)
+	}
+	return binEdges{edges: edges}
+}
+
+// EqualFrequency returns a discretizer whose bins each hold roughly the
+// same number of the provided sample values (quantile binning). Duplicate
+// cut points collapse, so the effective number of levels may be smaller
+// than requested; Levels reports the effective count.
+func EqualFrequency(sample []float64, levels int) Discretizer {
+	if levels < 1 {
+		panic(fmt.Sprintf("dataset: EqualFrequency with %d levels", levels))
+	}
+	if len(sample) == 0 {
+		panic("dataset: EqualFrequency with empty sample")
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	var edges []float64
+	for i := 1; i < levels; i++ {
+		q := sorted[i*len(sorted)/levels]
+		if len(edges) == 0 || q > edges[len(edges)-1] {
+			edges = append(edges, q)
+		}
+	}
+	return binEdges{edges: edges}
+}
+
+// RawTable is a continuous-valued table prior to discretization. NaN marks
+// a missing value.
+type RawTable struct {
+	Names []string
+	Rows  [][]float64
+	IDs   []string // optional; synthesized as row numbers when nil
+}
+
+// Discretize converts a raw table into a Dataset using one discretizer per
+// column. NaN cells become missing cells.
+func Discretize(raw *RawTable, discs []Discretizer) (*Dataset, error) {
+	if len(discs) != len(raw.Names) {
+		return nil, fmt.Errorf("dataset: %d discretizers for %d columns", len(discs), len(raw.Names))
+	}
+	attrs := make([]Attribute, len(raw.Names))
+	for j, name := range raw.Names {
+		attrs[j] = Attribute{Name: name, Levels: discs[j].Levels()}
+	}
+	d := New(attrs)
+	for i, row := range raw.Rows {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("dataset: raw row %d has %d values, want %d", i, len(row), len(attrs))
+		}
+		id := fmt.Sprintf("o%d", i+1)
+		if raw.IDs != nil {
+			id = raw.IDs[i]
+		}
+		o := Object{ID: id, Cells: make([]Cell, len(attrs))}
+		for j, v := range row {
+			if math.IsNaN(v) {
+				o.Cells[j] = Unknown()
+			} else {
+				o.Cells[j] = Known(discs[j].Code(v))
+			}
+		}
+		if err := d.Append(o); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

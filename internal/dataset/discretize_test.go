@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualWidthCodes(t *testing.T) {
+	disc := EqualWidth(0, 10, 5)
+	if disc.Levels() != 5 {
+		t.Fatalf("Levels = %d, want 5", disc.Levels())
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {1.9, 0}, {2, 1}, {3.5, 1}, {4, 2}, {5.99, 2},
+		{6, 3}, {8, 4}, {9.9, 4}, {10, 4}, {42, 4},
+	}
+	for _, tc := range cases {
+		if got := disc.Code(tc.v); got != tc.want {
+			t.Errorf("Code(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestEqualWidthSingleLevel(t *testing.T) {
+	disc := EqualWidth(0, 0, 1)
+	if disc.Levels() != 1 || disc.Code(123) != 0 {
+		t.Fatal("single-level discretizer broken")
+	}
+}
+
+func TestEqualWidthPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { EqualWidth(0, 10, 0) },
+		func() { EqualWidth(5, 5, 3) },
+		func() { EqualWidth(7, 2, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("EqualWidth accepted invalid arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEqualFrequencyBalanced(t *testing.T) {
+	sample := make([]float64, 1000)
+	for i := range sample {
+		sample[i] = float64(i)
+	}
+	disc := EqualFrequency(sample, 4)
+	if disc.Levels() != 4 {
+		t.Fatalf("Levels = %d, want 4", disc.Levels())
+	}
+	counts := make([]int, 4)
+	for _, v := range sample {
+		counts[disc.Code(v)]++
+	}
+	for b, c := range counts {
+		if c != 250 {
+			t.Errorf("bin %d holds %d values, want 250", b, c)
+		}
+	}
+}
+
+func TestEqualFrequencyCollapsesDuplicates(t *testing.T) {
+	sample := []float64{1, 1, 1, 1, 1, 1, 2, 3}
+	disc := EqualFrequency(sample, 4)
+	if disc.Levels() >= 4 {
+		t.Fatalf("Levels = %d, want < 4 with duplicate-heavy sample", disc.Levels())
+	}
+	if disc.Code(1) >= disc.Code(3) {
+		t.Fatal("ordering not preserved")
+	}
+}
+
+func TestEqualFrequencyPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { EqualFrequency(nil, 3) },
+		func() { EqualFrequency([]float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("EqualFrequency accepted invalid arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: discretizer codes are monotone in the raw value and always in
+// range.
+func TestDiscretizerMonotoneProperty(t *testing.T) {
+	disc := EqualWidth(-100, 100, 9)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		ca, cb := disc.Code(a), disc.Code(b)
+		if ca < 0 || ca >= 9 || cb < 0 || cb >= 9 {
+			return false
+		}
+		if a <= b && ca > cb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscretizeTable(t *testing.T) {
+	raw := &RawTable{
+		Names: []string{"height", "weight"},
+		Rows: [][]float64{
+			{150, 50},
+			{math.NaN(), 90},
+			{200, 70},
+		},
+		IDs: []string{"p1", "p2", "p3"},
+	}
+	discs := []Discretizer{EqualWidth(140, 210, 7), EqualWidth(40, 100, 6)}
+	d, err := Discretize(raw, discs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.NumAttrs() != 2 {
+		t.Fatalf("shape %dx%d", d.Len(), d.NumAttrs())
+	}
+	if !d.Objects[1].Cells[0].Missing {
+		t.Fatal("NaN did not become missing")
+	}
+	if d.Objects[0].Cells[0].Value != 1 { // (150-140)/10 = 1
+		t.Fatalf("height code = %d, want 1", d.Objects[0].Cells[0].Value)
+	}
+	if d.Objects[1].ID != "p2" {
+		t.Fatalf("ID = %q, want p2", d.Objects[1].ID)
+	}
+}
+
+func TestDiscretizeErrors(t *testing.T) {
+	raw := &RawTable{Names: []string{"a"}, Rows: [][]float64{{1, 2}}}
+	if _, err := Discretize(raw, []Discretizer{EqualWidth(0, 1, 2)}); err == nil {
+		t.Error("Discretize accepted ragged row")
+	}
+	if _, err := Discretize(raw, nil); err == nil {
+		t.Error("Discretize accepted missing discretizers")
+	}
+}

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// pearson computes the sample correlation of two attribute columns.
+func pearson(d *Dataset, a, b int) float64 {
+	n := float64(d.Len())
+	var sa, sb, saa, sbb, sab float64
+	for i := range d.Objects {
+		x := float64(d.Objects[i].Cells[a].Value)
+		y := float64(d.Objects[i].Cells[b].Value)
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	cov := sab/n - sa/n*sb/n
+	va := saa/n - sa/n*sa/n
+	vb := sbb/n - sb/n*sb/n
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestGenNBAShapeAndCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := GenNBA(rng, 3000)
+	if d.Len() != 3000 || d.NumAttrs() != 11 {
+		t.Fatalf("shape %dx%d, want 3000x11", d.Len(), d.NumAttrs())
+	}
+	if !d.IsComplete() {
+		t.Fatal("generated dataset has missing cells")
+	}
+	// minutes (1) and points (2) must be strongly positively correlated;
+	// minutes and fouls (8) negatively (fouls is anti-weighted).
+	if r := pearson(d, 1, 2); r < 0.5 {
+		t.Errorf("corr(minutes, points) = %v, want > 0.5", r)
+	}
+	if r := pearson(d, 1, 8); r > -0.2 {
+		t.Errorf("corr(minutes, fouls) = %v, want < -0.2", r)
+	}
+}
+
+func TestGenAdultSyntheticShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := GenAdultSynthetic(rng, 2000)
+	if d.Len() != 2000 || d.NumAttrs() != 9 {
+		t.Fatalf("shape %dx%d, want 2000x9", d.Len(), d.NumAttrs())
+	}
+	// education (1) and income (6) should correlate positively.
+	if r := pearson(d, 1, 6); r < 0.1 {
+		t.Errorf("corr(education, income) = %v, want > 0.1", r)
+	}
+	// Varied level counts per the Adult-like schema.
+	if d.Attrs[0].Levels != 8 || d.Attrs[4].Levels != 4 {
+		t.Errorf("unexpected levels: %+v", d.Attrs)
+	}
+}
+
+func TestGenIndependentUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := GenIndependent(rng, 5000, 3, 4)
+	counts := make([]int, 4)
+	for i := range d.Objects {
+		counts[d.Objects[i].Cells[0].Value]++
+	}
+	for v, c := range counts {
+		if f := float64(c) / 5000; math.Abs(f-0.25) > 0.03 {
+			t.Errorf("P(a1=%d) = %v, want ~0.25", v, f)
+		}
+	}
+	if r := pearson(d, 0, 1); math.Abs(r) > 0.05 {
+		t.Errorf("independent attrs correlate: %v", r)
+	}
+}
+
+func TestGenCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := GenCorrelated(rng, 4000, 4, 10, 0.8)
+	if r := pearson(d, 0, 1); r < 0.6 {
+		t.Errorf("corr = %v, want > 0.6", r)
+	}
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GenCorrelated(corr=%v) did not panic", bad)
+				}
+			}()
+			GenCorrelated(rng, 1, 1, 2, bad)
+		}()
+	}
+}
+
+func TestGenAntiCorrelatedProducesLargerSkylineInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := GenAntiCorrelated(rng, 4000, 2, 10)
+	if r := pearson(d, 0, 1); r > -0.1 {
+		t.Errorf("anti-correlated attrs correlate %v, want < -0.1", r)
+	}
+	for i := range d.Objects {
+		for j, c := range d.Objects[i].Cells {
+			if c.Missing || c.Value < 0 || c.Value >= 10 {
+				t.Fatalf("cell (%d,%d) = %+v out of domain", i, j, c)
+			}
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	d := FromRows(
+		[]Attribute{{Name: "x", Levels: 3}, {Name: "y", Levels: 3}},
+		[][]int{{0, 1}, {2, 2}},
+	)
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Objects[1].Cells[0].Value != 2 {
+		t.Fatal("wrong cell value")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromRows accepted out-of-domain value")
+		}
+	}()
+	FromRows([]Attribute{{Name: "x", Levels: 2}}, [][]int{{5}})
+}
+
+func TestGeneratorsDeterministicWithSeed(t *testing.T) {
+	a := GenNBA(rand.New(rand.NewSource(9)), 100)
+	b := GenNBA(rand.New(rand.NewSource(9)), 100)
+	for i := range a.Objects {
+		for j := range a.Attrs {
+			if a.Objects[i].Cells[j] != b.Objects[i].Cells[j] {
+				t.Fatal("same seed produced different datasets")
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package dataset
+
+// SampleMovies returns the paper's running example (Table 1): five movies
+// rated by five audiences, with five missing ratings. Attribute domains
+// follow Example 3: a2 has 10 levels (0..9), a3 has 8 levels (0..7) and a4
+// has 6 levels (0..5); a1 and a5 are given 10 levels, which covers all the
+// observed ratings.
+func SampleMovies() *Dataset {
+	d := New([]Attribute{
+		{Name: "a1", Levels: 10},
+		{Name: "a2", Levels: 10},
+		{Name: "a3", Levels: 8},
+		{Name: "a4", Levels: 6},
+		{Name: "a5", Levels: 10},
+	})
+	d.MustAppend(Object{ID: "Schindler's List (1993)", Cells: []Cell{
+		Known(5), Known(2), Known(3), Known(4), Known(1),
+	}})
+	d.MustAppend(Object{ID: "Se7en (1995)", Cells: []Cell{
+		Known(6), Unknown(), Known(2), Known(2), Known(2),
+	}})
+	d.MustAppend(Object{ID: "The Godfather (1972)", Cells: []Cell{
+		Known(1), Known(1), Unknown(), Known(5), Known(3),
+	}})
+	d.MustAppend(Object{ID: "The Lion King (1994)", Cells: []Cell{
+		Known(4), Known(3), Known(1), Known(2), Known(1),
+	}})
+	d.MustAppend(Object{ID: "Star Wars (1977)", Cells: []Cell{
+		Known(5), Unknown(), Unknown(), Unknown(), Known(1),
+	}})
+	return d
+}

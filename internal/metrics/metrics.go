@@ -1,0 +1,44 @@
+// Package metrics scores crowd query results against the ground truth.
+// The paper evaluates accuracy with the F1 score of the returned result
+// set against the skyline of the corresponding complete data (§7).
+package metrics
+
+// PRF1 returns precision, recall and F1 of the returned index set against
+// the expected one. An empty expected set with an empty result scores
+// perfect; an empty intersection scores zero.
+func PRF1(got, want []int) (precision, recall, f1 float64) {
+	wantSet := make(map[int]bool, len(want))
+	for _, i := range want {
+		wantSet[i] = true
+	}
+	gotSet := make(map[int]bool, len(got))
+	hits := 0
+	for _, i := range got {
+		if gotSet[i] {
+			continue // ignore duplicates
+		}
+		gotSet[i] = true
+		if wantSet[i] {
+			hits++
+		}
+	}
+	if len(gotSet) == 0 && len(wantSet) == 0 {
+		return 1, 1, 1
+	}
+	if len(gotSet) > 0 {
+		precision = float64(hits) / float64(len(gotSet))
+	}
+	if len(wantSet) > 0 {
+		recall = float64(hits) / float64(len(wantSet))
+	}
+	if precision+recall == 0 {
+		return precision, recall, 0
+	}
+	return precision, recall, 2 * precision * recall / (precision + recall)
+}
+
+// F1 is shorthand for the F1 component of PRF1.
+func F1(got, want []int) float64 {
+	_, _, f1 := PRF1(got, want)
+	return f1
+}

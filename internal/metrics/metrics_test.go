@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRF1Cases(t *testing.T) {
+	cases := []struct {
+		name      string
+		got, want []int
+		p, r, f1  float64
+	}{
+		{"exact", []int{1, 2, 3}, []int{1, 2, 3}, 1, 1, 1},
+		{"disjoint", []int{1}, []int{2}, 0, 0, 0},
+		{"half precision", []int{1, 2}, []int{1}, 0.5, 1, 2.0 / 3.0},
+		{"half recall", []int{1}, []int{1, 2}, 1, 0.5, 2.0 / 3.0},
+		{"both empty", nil, nil, 1, 1, 1},
+		{"empty got", nil, []int{1}, 0, 0, 0},
+		{"empty want", []int{1}, nil, 0, 0, 0},
+		{"duplicates in got", []int{1, 1, 2}, []int{1}, 0.5, 1, 2.0 / 3.0},
+	}
+	for _, tc := range cases {
+		p, r, f1 := PRF1(tc.got, tc.want)
+		if math.Abs(p-tc.p) > 1e-12 || math.Abs(r-tc.r) > 1e-12 || math.Abs(f1-tc.f1) > 1e-12 {
+			t.Errorf("%s: PRF1 = %v,%v,%v, want %v,%v,%v", tc.name, p, r, f1, tc.p, tc.r, tc.f1)
+		}
+		if got := F1(tc.got, tc.want); math.Abs(got-tc.f1) > 1e-12 {
+			t.Errorf("%s: F1 = %v, want %v", tc.name, got, tc.f1)
+		}
+	}
+}
+
+// Properties: all scores in [0,1]; F1 is 1 iff sets are equal (as sets).
+func TestPRF1Properties(t *testing.T) {
+	f := func(got, want []uint8) bool {
+		g := make([]int, len(got))
+		for i, x := range got {
+			g[i] = int(x % 16)
+		}
+		w := make([]int, len(want))
+		for i, x := range want {
+			w[i] = int(x % 16)
+		}
+		p, r, f1 := PRF1(g, w)
+		for _, s := range []float64{p, r, f1} {
+			if s < 0 || s > 1 {
+				return false
+			}
+		}
+		gs := map[int]bool{}
+		for _, x := range g {
+			gs[x] = true
+		}
+		ws := map[int]bool{}
+		for _, x := range w {
+			ws[x] = true
+		}
+		equal := len(gs) == len(ws)
+		if equal {
+			for k := range gs {
+				if !ws[k] {
+					equal = false
+					break
+				}
+			}
+		}
+		return (f1 > 1-1e-12) == equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

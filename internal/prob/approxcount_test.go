@@ -1,0 +1,111 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bayescrowd/internal/ctable"
+)
+
+func TestApproxCountExample3(t *testing.T) {
+	cond, dists := example3()
+	ev := NewEvaluator(dists)
+	rng := rand.New(rand.NewSource(1))
+	// ApproxCount is a noisy, downward-biased estimator: fixing each
+	// level's variable to the *empirically* most frequent satisfying
+	// value overestimates that value's conditional share (argmax bias),
+	// so the telescoped product tends to come in low — Wei & Selman sell
+	// the algorithm as a high-confidence lower bound, and this inaccuracy
+	// is exactly why §5 reports it losing to ADPLL. Assert the estimate
+	// lands in a bracket around the exact 0.823 that admits the known
+	// downward bias but rejects nonsense.
+	const runs = 60
+	sum := 0.0
+	for i := 0; i < runs; i++ {
+		sum += ev.ApproxCount(cond, 120, rng)
+	}
+	got := sum / runs
+	if got < 0.45 || got > 0.95 {
+		t.Fatalf("ApproxCount mean = %v, want a biased-low estimate in [0.45, 0.95] around 0.823", got)
+	}
+}
+
+func TestApproxCountDecidedAndValidation(t *testing.T) {
+	ev := NewEvaluator(Dists{})
+	rng := rand.New(rand.NewSource(2))
+	if got := ev.ApproxCount(ctable.True(), 10, rng); got != 1 {
+		t.Fatalf("ApproxCount(true) = %v", got)
+	}
+	if got := ev.ApproxCount(ctable.False(), 10, rng); got != 0 {
+		t.Fatalf("ApproxCount(false) = %v", got)
+	}
+	cond, dists := example3()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ApproxCount with 0 samples did not panic")
+		}
+	}()
+	NewEvaluator(dists).ApproxCount(cond, 0, rng)
+}
+
+func TestApproxCountIndependentFormulaExact(t *testing.T) {
+	// A fully independent formula short-circuits through the direct rule,
+	// so the estimate is exact.
+	x, y := v(0, 0), v(1, 0)
+	cond := ctable.FromClauses([][]ctable.Expr{
+		{ctable.LTConst(x, 2)},
+		{ctable.GTConst(y, 1)},
+	})
+	ev := NewEvaluator(Dists{x: uniform(4), y: uniform(4)})
+	want := 0.5 * 0.5
+	got := ev.ApproxCount(cond, 10, rand.New(rand.NewSource(3)))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ApproxCount = %v, want exactly %v", got, want)
+	}
+}
+
+func TestApproxCountUnsatisfiableGoesToZero(t *testing.T) {
+	// (x < 2) ∧ (x > 5) over 0..7 is unsatisfiable; the estimator must
+	// return 0 (simplification or failed sampling).
+	x, y := v(0, 0), v(1, 0)
+	cond := ctable.FromClauses([][]ctable.Expr{
+		{ctable.LTConst(x, 2), ctable.LTConst(y, 1)},
+		{ctable.GTConst(x, 5), ctable.LTConst(y, 1)},
+		{ctable.GTConst(y, 0)},
+	})
+	ev := NewEvaluator(Dists{x: uniform(8), y: uniform(8)})
+	if want := ev.Prob(cond.Clone()); want != 0 {
+		t.Fatalf("fixture not unsatisfiable: Pr = %v", want)
+	}
+	got := ev.ApproxCount(cond, 50, rand.New(rand.NewSource(4)))
+	if got != 0 {
+		t.Fatalf("ApproxCount = %v on unsatisfiable formula", got)
+	}
+}
+
+func TestApproxCountTracksADPLLOnRandomFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	var worst float64
+	for trial := 0; trial < 25; trial++ {
+		cond, dists := randomCondition(rng)
+		if _, decided := cond.Decided(); decided {
+			continue
+		}
+		ev := NewEvaluator(dists)
+		want := ev.Prob(cond.Clone())
+		const runs = 40
+		sum := 0.0
+		for i := 0; i < runs; i++ {
+			sum += ev.ApproxCount(cond.Clone(), 80, rng)
+		}
+		got := sum / runs
+		if d := math.Abs(got - want); d > worst {
+			worst = d
+		}
+		if math.Abs(got-want) > 0.25 {
+			t.Fatalf("trial %d: ApproxCount mean %v vs exact %v (formula %v)", trial, got, want, cond)
+		}
+	}
+	t.Logf("worst mean absolute deviation: %.3f", worst)
+}

@@ -1,0 +1,347 @@
+package prob
+
+import (
+	"fmt"
+
+	"bayescrowd/internal/ctable"
+)
+
+// The solver is the allocation-lean engine behind ADPLL. Public entry
+// points convert a condition's expressions into a dense form first —
+// variables interned to small integer ids, clauses to slices of cexpr —
+// so the recursion works on array indexing instead of map hashing.
+
+// cexpr is an interned expression. y < 0 marks a constant right operand.
+type cexpr struct {
+	kind ctable.Kind
+	x, y int32
+	c    int32
+}
+
+type solver struct {
+	opt   Options
+	dists [][]float64 // per var id
+	// assign[v] is the branched value of var v, or -1.
+	assign []int32
+	// Scratch epochs avoid clearing per-var arrays on every recursion.
+	epoch   int
+	seenEp  []int // directProb / pickVar bookkeeping
+	counts  []int
+	ownerEp []int // components bookkeeping
+	owner   []int
+}
+
+// newSolver interns the variables of the clause set and captures their
+// distributions.
+func newSolver(ev *Evaluator, clauses [][]ctable.Expr) (*solver, [][]cexpr) {
+	ids := map[ctable.Var]int32{}
+	var dists [][]float64
+	intern := func(v ctable.Var) int32 {
+		if id, ok := ids[v]; ok {
+			return id
+		}
+		id := int32(len(dists))
+		ids[v] = id
+		dists = append(dists, ev.dist(v))
+		return id
+	}
+	out := make([][]cexpr, len(clauses))
+	for i, cl := range clauses {
+		ce := make([]cexpr, len(cl))
+		for k, e := range cl {
+			switch e.Kind {
+			case ctable.VarLTConst, ctable.VarGTConst:
+				ce[k] = cexpr{kind: e.Kind, x: intern(e.X), y: -1, c: int32(e.C)}
+			case ctable.VarGTVar:
+				ce[k] = cexpr{kind: e.Kind, x: intern(e.X), y: intern(e.Y)}
+			default:
+				panic(fmt.Sprintf("prob: unknown expression kind %d", e.Kind))
+			}
+		}
+		out[i] = ce
+	}
+	n := len(dists)
+	s := &solver{
+		opt:     ev.Opt,
+		dists:   dists,
+		assign:  make([]int32, n),
+		seenEp:  make([]int, n),
+		counts:  make([]int, n),
+		ownerEp: make([]int, n),
+		owner:   make([]int, n),
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+	}
+	return s, out
+}
+
+// exprProb is ExprProb over interned expressions and (possibly branched)
+// distributions.
+func (s *solver) exprProb(e cexpr) float64 {
+	dx := s.dists[e.x]
+	switch e.kind {
+	case ctable.VarLTConst:
+		p := 0.0
+		for v := 0; v < len(dx) && v < int(e.c); v++ {
+			p += dx[v]
+		}
+		return p
+	case ctable.VarGTConst:
+		p := 0.0
+		for v := int(e.c) + 1; v < len(dx); v++ {
+			if v >= 0 {
+				p += dx[v]
+			}
+		}
+		return p
+	default: // VarGTVar
+		dy := s.dists[e.y]
+		p, cdf := 0.0, 0.0
+		for a := 0; a < len(dx); a++ {
+			if a-1 >= 0 && a-1 < len(dy) {
+				cdf += dy[a-1]
+			}
+			p += dx[a] * cdf
+		}
+		return p
+	}
+}
+
+// substitute applies the current assignment to an expression.
+func (s *solver) substitute(e cexpr) (out cexpr, value, decided bool) {
+	switch e.kind {
+	case ctable.VarLTConst:
+		if x := s.assign[e.x]; x >= 0 {
+			return e, x < e.c, true
+		}
+		return e, false, false
+	case ctable.VarGTConst:
+		if x := s.assign[e.x]; x >= 0 {
+			return e, x > e.c, true
+		}
+		return e, false, false
+	default: // VarGTVar
+		x, y := s.assign[e.x], s.assign[e.y]
+		switch {
+		case x >= 0 && y >= 0:
+			return e, x > y, true
+		case x >= 0:
+			return cexpr{kind: ctable.VarLTConst, x: e.y, y: -1, c: x}, false, false
+		case y >= 0:
+			return cexpr{kind: ctable.VarGTConst, x: e.x, y: -1, c: y}, false, false
+		default:
+			return e, false, false
+		}
+	}
+}
+
+// simplify rewrites clauses under the assignment into dst (which is
+// reused storage); decided reports a collapsed formula.
+func (s *solver) simplify(clauses [][]cexpr) (out [][]cexpr, value, decided bool) {
+	out = make([][]cexpr, 0, len(clauses))
+	for _, cl := range clauses {
+		kept := make([]cexpr, 0, len(cl))
+		satisfied := false
+		for _, e := range cl {
+			sub, val, dec := s.substitute(e)
+			if dec {
+				if val {
+					satisfied = true
+					break
+				}
+				continue
+			}
+			kept = append(kept, sub)
+		}
+		if satisfied {
+			continue
+		}
+		if len(kept) == 0 {
+			return nil, false, true
+		}
+		out = append(out, kept)
+	}
+	if len(out) == 0 {
+		return nil, true, true
+	}
+	return out, false, false
+}
+
+// adpll is Algorithm 3 over interned clauses.
+func (s *solver) adpll(clauses [][]cexpr) float64 {
+	residual, value, decided := s.simplify(clauses)
+	if decided {
+		if value {
+			return 1
+		}
+		return 0
+	}
+
+	// The direct rule over the whole residual is the common case after
+	// branching (clauses become pairwise variable-disjoint), so try it
+	// before paying for component analysis.
+	if p, ok := s.directProb(residual); ok {
+		return p
+	}
+	if s.opt.NoComponents {
+		return s.branch(residual, s.pickVar(residual))
+	}
+
+	comps := s.components(residual)
+	if len(comps) == 1 {
+		return s.branch(residual, s.pickVar(residual))
+	}
+	p := 1.0
+	for _, comp := range comps {
+		if direct, ok := s.directProb(comp); ok {
+			p *= direct
+			continue
+		}
+		p *= s.branch(comp, s.pickVar(comp))
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// branch enumerates the values of var id v weighted by its distribution.
+func (s *solver) branch(clauses [][]cexpr, v int32) float64 {
+	total := 0.0
+	for a, pa := range s.dists[v] {
+		if pa == 0 {
+			continue
+		}
+		s.assign[v] = int32(a)
+		total += pa * s.adpll(clauses)
+	}
+	s.assign[v] = -1
+	return total
+}
+
+// pickVar returns the most frequent variable id of the clause set (first
+// one under the BranchFirstVar ablation).
+func (s *solver) pickVar(clauses [][]cexpr) int32 {
+	s.epoch++
+	best, bestCount := int32(-1), 0
+	visit := func(v int32) {
+		if s.seenEp[v] != s.epoch {
+			s.seenEp[v] = s.epoch
+			s.counts[v] = 0
+		}
+		s.counts[v]++
+		if s.counts[v] > bestCount {
+			best, bestCount = v, s.counts[v]
+		}
+	}
+	for _, cl := range clauses {
+		for _, e := range cl {
+			if s.opt.BranchFirstVar {
+				return e.x
+			}
+			visit(e.x)
+			if e.y >= 0 {
+				visit(e.y)
+			}
+		}
+	}
+	return best
+}
+
+// directProb applies the independent-conjunction and general-disjunction
+// rules when every variable occurs exactly once across the clause set.
+func (s *solver) directProb(clauses [][]cexpr) (p float64, ok bool) {
+	s.epoch++
+	for _, cl := range clauses {
+		for _, e := range cl {
+			if s.seenEp[e.x] == s.epoch {
+				return 0, false
+			}
+			s.seenEp[e.x] = s.epoch
+			if e.y >= 0 {
+				if s.seenEp[e.y] == s.epoch {
+					return 0, false
+				}
+				s.seenEp[e.y] = s.epoch
+			}
+		}
+	}
+	p = 1.0
+	for _, cl := range clauses {
+		qAllFalse := 1.0
+		for _, e := range cl {
+			qAllFalse *= 1 - s.exprProb(e)
+		}
+		p *= 1 - qAllFalse
+	}
+	return p, true
+}
+
+// components groups clauses into connected components of the clause-
+// variable incidence graph using an epoch-versioned owner table.
+func (s *solver) components(clauses [][]cexpr) [][][]cexpr {
+	parent := make([]int, len(clauses))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	s.epoch++
+	claim := func(v int32, clause int) {
+		if s.ownerEp[v] == s.epoch {
+			ra, rb := find(s.owner[v]), find(clause)
+			if ra != rb {
+				parent[ra] = rb
+			}
+			return
+		}
+		s.ownerEp[v] = s.epoch
+		s.owner[v] = clause
+	}
+	for i, cl := range clauses {
+		for _, e := range cl {
+			claim(e.x, i)
+			if e.y >= 0 {
+				claim(e.y, i)
+			}
+		}
+	}
+
+	// Single component fast path.
+	root := find(0)
+	single := true
+	for i := 1; i < len(clauses); i++ {
+		if find(i) != root {
+			single = false
+			break
+		}
+	}
+	if single {
+		return [][][]cexpr{clauses}
+	}
+
+	// Compact the root ids into group indices without map hashing.
+	groupOf := make([]int, len(clauses))
+	nGroups := 0
+	for i := range clauses {
+		r := find(i)
+		if r == i {
+			groupOf[i] = nGroups
+			nGroups++
+		}
+	}
+	out := make([][][]cexpr, nGroups)
+	for i, cl := range clauses {
+		g := groupOf[find(i)]
+		out[g] = append(out[g], cl)
+	}
+	return out
+}

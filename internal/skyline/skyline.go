@@ -1,0 +1,169 @@
+// Package skyline computes skylines over complete data.
+//
+// BayesCrowd's dominance relationship (paper Definition 1) is the classic
+// complete-data one, and the experimental ground truth is "the query result
+// derived based on the corresponding complete data" (§7). This package
+// provides that ground truth via two classic algorithms — block-nested-loop
+// (BNL) and sort-filter-skyline (SFS) — which are cross-checked against
+// each other in tests.
+package skyline
+
+import (
+	"sort"
+
+	"bayescrowd/internal/dataset"
+)
+
+// Dominates reports whether object a dominates object b under Definition 1:
+// a is not worse than b in every attribute and strictly better in at least
+// one. Both objects must be complete; it panics on a missing cell because
+// dominance is undefined over incomplete objects.
+func Dominates(a, b *dataset.Object) bool {
+	better := false
+	for j := range a.Cells {
+		ca, cb := a.Cells[j], b.Cells[j]
+		if ca.Missing || cb.Missing {
+			panic("skyline: Dominates over incomplete objects")
+		}
+		if ca.Value < cb.Value {
+			return false
+		}
+		if ca.Value > cb.Value {
+			better = true
+		}
+	}
+	return better
+}
+
+// BNL computes the skyline of a complete dataset with the block-nested-loop
+// algorithm and returns the indices of skyline objects in ascending order.
+func BNL(d *dataset.Dataset) []int {
+	var window []int
+	for i := range d.Objects {
+		o := &d.Objects[i]
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if dominated {
+				keep = append(keep, w)
+				continue
+			}
+			switch {
+			case Dominates(&d.Objects[w], o):
+				dominated = true
+				keep = append(keep, w)
+			case Dominates(o, &d.Objects[w]):
+				// drop w
+			default:
+				keep = append(keep, w)
+			}
+		}
+		window = keep
+		if !dominated {
+			window = append(window, i)
+		}
+	}
+	sort.Ints(window)
+	return window
+}
+
+// SFS computes the skyline with the sort-filter-skyline algorithm: objects
+// are visited in non-increasing order of their attribute-value sum, which
+// guarantees that no later object can dominate an earlier one, so a single
+// filter pass against the accumulated skyline suffices. Indices are
+// returned in ascending order.
+func SFS(d *dataset.Dataset) []int {
+	order := make([]int, d.Len())
+	sums := make([]int, d.Len())
+	for i := range d.Objects {
+		order[i] = i
+		s := 0
+		for _, c := range d.Objects[i].Cells {
+			if c.Missing {
+				panic("skyline: SFS over incomplete dataset")
+			}
+			s += c.Value
+		}
+		sums[i] = s
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
+
+	var sky []int
+	for _, i := range order {
+		o := &d.Objects[i]
+		dominated := false
+		for _, s := range sky {
+			if Dominates(&d.Objects[s], o) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, i)
+		}
+	}
+	sort.Ints(sky)
+	return sky
+}
+
+// Layers partitions all object indices into skyline layers: layer 0 is the
+// skyline, layer 1 is the skyline of the remainder, and so on. CrowdSky
+// (§7.3) uses this partitioning over the observed attributes; attrs selects
+// which attributes participate (nil means all). Cells of the selected
+// attributes must be present.
+func Layers(d *dataset.Dataset, attrs []int) [][]int {
+	if attrs == nil {
+		attrs = make([]int, d.NumAttrs())
+		for j := range attrs {
+			attrs[j] = j
+		}
+	}
+	dominatesOn := func(a, b *dataset.Object) bool {
+		better := false
+		for _, j := range attrs {
+			ca, cb := a.Cells[j], b.Cells[j]
+			if ca.Missing || cb.Missing {
+				panic("skyline: Layers over missing selected attribute")
+			}
+			if ca.Value < cb.Value {
+				return false
+			}
+			if ca.Value > cb.Value {
+				better = true
+			}
+		}
+		return better
+	}
+
+	remaining := make([]int, d.Len())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var layers [][]int
+	for len(remaining) > 0 {
+		var layer, rest []int
+		for _, i := range remaining {
+			dominated := false
+			for _, k := range remaining {
+				if k != i && dominatesOn(&d.Objects[k], &d.Objects[i]) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				rest = append(rest, i)
+			} else {
+				layer = append(layer, i)
+			}
+		}
+		if len(layer) == 0 {
+			// All remaining objects are mutually "dominated" — impossible
+			// under a strict partial order, but guard against livelock.
+			layers = append(layers, rest)
+			break
+		}
+		layers = append(layers, layer)
+		remaining = rest
+	}
+	return layers
+}

@@ -1,0 +1,238 @@
+package skyline
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"bayescrowd/internal/dataset"
+)
+
+func obj(vals ...int) dataset.Object {
+	cells := make([]dataset.Cell, len(vals))
+	for i, v := range vals {
+		cells[i] = dataset.Known(v)
+	}
+	return dataset.Object{Cells: cells}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b dataset.Object
+		want bool
+	}{
+		{obj(4, 2, 3), obj(3, 2, 1), true},  // paper intro: m2 dominates m1
+		{obj(3, 2, 1), obj(4, 2, 3), false}, // reverse
+		{obj(2, 3, 2), obj(3, 2, 1), false}, // incomparable (m3 vs m1)
+		{obj(1, 1), obj(1, 1), false},       // equal: no strict improvement
+		{obj(2, 1), obj(1, 1), true},
+		{obj(1, 2), obj(1, 1), true},
+	}
+	for _, tc := range cases {
+		if got := Dominates(&tc.a, &tc.b); got != tc.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", tc.a.Cells, tc.b.Cells, got, tc.want)
+		}
+	}
+}
+
+func TestDominatesPanicsOnMissing(t *testing.T) {
+	a := dataset.Object{Cells: []dataset.Cell{dataset.Unknown()}}
+	b := obj(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dominates over missing cell did not panic")
+		}
+	}()
+	Dominates(&a, &b)
+}
+
+func TestPaperIntroExample(t *testing.T) {
+	// m1=(3,2,1), m2=(4,2,3), m3=(2,3,2): skyline = {m2, m3}.
+	d := dataset.FromRows(
+		[]dataset.Attribute{{Name: "r1", Levels: 5}, {Name: "r2", Levels: 5}, {Name: "r3", Levels: 5}},
+		[][]int{{3, 2, 1}, {4, 2, 3}, {2, 3, 2}},
+	)
+	want := []int{1, 2}
+	if got := BNL(d); !reflect.DeepEqual(got, want) {
+		t.Errorf("BNL = %v, want %v", got, want)
+	}
+	if got := SFS(d); !reflect.DeepEqual(got, want) {
+		t.Errorf("SFS = %v, want %v", got, want)
+	}
+}
+
+// naive is the obvious O(n^2) reference skyline.
+func naive(d *dataset.Dataset) []int {
+	var out []int
+	for i := range d.Objects {
+		dominated := false
+		for k := range d.Objects {
+			if k != i && Dominates(&d.Objects[k], &d.Objects[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestBNLAndSFSAgreeWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	gens := map[string]func() *dataset.Dataset{
+		"independent": func() *dataset.Dataset { return dataset.GenIndependent(rng, 300, 4, 8) },
+		"correlated":  func() *dataset.Dataset { return dataset.GenCorrelated(rng, 300, 4, 8, 0.7) },
+		"anticorr":    func() *dataset.Dataset { return dataset.GenAntiCorrelated(rng, 300, 4, 8) },
+		"duplicates":  func() *dataset.Dataset { return dataset.GenIndependent(rng, 300, 3, 2) },
+	}
+	for name, gen := range gens {
+		for trial := 0; trial < 5; trial++ {
+			d := gen()
+			want := naive(d)
+			if got := BNL(d); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s trial %d: BNL = %v, want %v", name, trial, got, want)
+			}
+			if got := SFS(d); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s trial %d: SFS = %v, want %v", name, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSkylineEdgeCases(t *testing.T) {
+	empty := dataset.New([]dataset.Attribute{{Name: "a", Levels: 3}})
+	if got := BNL(empty); len(got) != 0 {
+		t.Errorf("BNL(empty) = %v", got)
+	}
+	single := dataset.FromRows([]dataset.Attribute{{Name: "a", Levels: 3}}, [][]int{{1}})
+	if got := BNL(single); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("BNL(single) = %v", got)
+	}
+	// All-equal objects: nothing dominates anything, all are skyline.
+	dup := dataset.FromRows([]dataset.Attribute{{Name: "a", Levels: 3}, {Name: "b", Levels: 3}},
+		[][]int{{1, 1}, {1, 1}, {1, 1}})
+	if got := BNL(dup); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("BNL(duplicates) = %v, want all", got)
+	}
+	if got := SFS(dup); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("SFS(duplicates) = %v, want all", got)
+	}
+}
+
+func TestLayersPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := dataset.GenIndependent(rng, 200, 3, 6)
+	layers := Layers(d, nil)
+
+	// Layer 0 must be the skyline.
+	want := naive(d)
+	got := append([]int(nil), layers[0]...)
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("layer 0 = %v, want skyline %v", got, want)
+	}
+
+	// Layers partition all indices.
+	seen := map[int]bool{}
+	total := 0
+	for _, l := range layers {
+		for _, i := range l {
+			if seen[i] {
+				t.Fatalf("index %d in two layers", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("layers cover %d objects, want %d", total, d.Len())
+	}
+
+	// No object in layer k+1 may dominate an object in layer k... but an
+	// object in layer k is never dominated by anything in layers >= k.
+	for li, l := range layers {
+		for _, i := range l {
+			for lj := li; lj < len(layers); lj++ {
+				for _, k := range layers[lj] {
+					if k != i && Dominates(&d.Objects[k], &d.Objects[i]) {
+						t.Fatalf("object %d in layer %d dominated by %d in layer %d", i, li, k, lj)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLayersSubsetAttrs(t *testing.T) {
+	d := dataset.FromRows(
+		[]dataset.Attribute{{Name: "a", Levels: 5}, {Name: "b", Levels: 5}},
+		[][]int{{4, 0}, {0, 4}, {3, 3}},
+	)
+	// Over attribute 0 only: object 0 (value 4) is layer 0, then 2, then 1.
+	layers := Layers(d, []int{0})
+	if len(layers) != 3 || layers[0][0] != 0 || layers[1][0] != 2 || layers[2][0] != 1 {
+		t.Fatalf("Layers over a = %v", layers)
+	}
+}
+
+func BenchmarkBNL(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	d := dataset.GenIndependent(rng, 5000, 6, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BNL(d)
+	}
+}
+
+func BenchmarkSFS(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	d := dataset.GenIndependent(rng, 5000, 6, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SFS(d)
+	}
+}
+
+func TestDCAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	gens := []func() *dataset.Dataset{
+		func() *dataset.Dataset { return dataset.GenIndependent(rng, 400, 4, 8) },
+		func() *dataset.Dataset { return dataset.GenCorrelated(rng, 400, 3, 8, 0.7) },
+		func() *dataset.Dataset { return dataset.GenAntiCorrelated(rng, 400, 4, 8) },
+		func() *dataset.Dataset { return dataset.GenIndependent(rng, 400, 2, 2) }, // heavy ties
+		func() *dataset.Dataset { return dataset.GenIndependent(rng, 10, 3, 4) },  // below leaf size
+	}
+	for gi, gen := range gens {
+		for trial := 0; trial < 4; trial++ {
+			d := gen()
+			want := naive(d)
+			if got := DC(d); !reflect.DeepEqual(got, want) {
+				t.Fatalf("generator %d trial %d: DC = %v, want %v", gi, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestDCPanicsOnMissing(t *testing.T) {
+	d := dataset.New([]dataset.Attribute{{Name: "a", Levels: 3}})
+	d.MustAppend(dataset.Object{Cells: []dataset.Cell{dataset.Unknown()}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DC over incomplete data did not panic")
+		}
+	}()
+	DC(d)
+}
+
+func BenchmarkDC(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	d := dataset.GenIndependent(rng, 5000, 6, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DC(d)
+	}
+}

@@ -1,0 +1,153 @@
+// Package unarycrowd reimplements the unary-question crowd skyline of
+// Lofi, El Maarry and Balke ("Skyline Queries in Crowd-Enabled Databases",
+// EDBT 2013) — reference [22] of the paper and the second existing crowd
+// skyline approach §1 discusses.
+//
+// Instead of BayesCrowd's comparison micro-tasks, this approach asks the
+// crowd *unary* questions — "what is the value of this missing cell?" —
+// imputes the answers into the table, and computes the skyline of the
+// completed data by machine. The paper's critique, which the comparison
+// benchmark quantifies, is twofold: every missing cell of every candidate
+// must be asked (no task can be saved by inference), and a single wrong
+// imputation silently corrupts dominance decisions, so "the returned
+// results may be inaccurate".
+//
+// Dominance-based pruning keeps the task count sane: only cells of
+// objects that could still be skyline members (not already dominated on
+// their observed values by a complete object) are asked.
+package unarycrowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/skyline"
+)
+
+// Options configures a run.
+type Options struct {
+	// TasksPerRound bounds the unary questions posted per round.
+	TasksPerRound int
+	// Accuracy is the probability a worker reports the true value; a
+	// wrong worker reports a uniformly random *other* domain value.
+	// Unlike ternary comparisons, unary estimation has no natural
+	// majority aggregation over a large domain, so one worker answers
+	// each cell — the fidelity weakness the paper points out.
+	Accuracy float64
+	// Rng drives worker errors; required when Accuracy < 1.
+	Rng *rand.Rand
+}
+
+// Result reports the computed skyline and cost metrics.
+type Result struct {
+	Skyline     []int
+	TasksPosted int
+	Rounds      int
+}
+
+// Run computes the skyline by crowdsourcing unary value questions against
+// the hidden truth and running a machine skyline over the imputed table.
+func Run(d *dataset.Dataset, truth *dataset.Dataset, opt Options) (*Result, error) {
+	if opt.TasksPerRound <= 0 {
+		opt.TasksPerRound = 20
+	}
+	if opt.Accuracy < 0 || opt.Accuracy > 1 {
+		return nil, fmt.Errorf("unarycrowd: accuracy %v outside [0,1]", opt.Accuracy)
+	}
+	if opt.Accuracy < 1 && opt.Rng == nil {
+		return nil, fmt.Errorf("unarycrowd: imperfect workers need an Rng")
+	}
+	if truth.Len() != d.Len() || truth.NumAttrs() != d.NumAttrs() {
+		return nil, fmt.Errorf("unarycrowd: truth shape %dx%d does not match data %dx%d",
+			truth.Len(), truth.NumAttrs(), d.Len(), d.NumAttrs())
+	}
+
+	imputed := d.Clone()
+
+	// Prune: an object already dominated on complete evidence can never
+	// be a skyline member, and its cells need no crowd money — the
+	// dominance-pruning refinement of the EDBT'13 approach.
+	candidate := make([]bool, d.Len())
+	for o := range d.Objects {
+		candidate[o] = true
+	}
+	for o := range d.Objects {
+		if !d.Objects[o].IsComplete() {
+			continue
+		}
+		for p := range d.Objects {
+			if p == o || !d.Objects[p].IsComplete() {
+				continue
+			}
+			if skyline.Dominates(&d.Objects[p], &d.Objects[o]) {
+				candidate[o] = false
+				break
+			}
+		}
+	}
+
+	// Collect the unary tasks: every missing cell of every candidate.
+	type cell struct{ o, j int }
+	var queue []cell
+	for o := range d.Objects {
+		if !candidate[o] {
+			continue
+		}
+		for j, c := range d.Objects[o].Cells {
+			if c.Missing {
+				queue = append(queue, cell{o, j})
+			}
+		}
+	}
+
+	res := &Result{}
+	for start := 0; start < len(queue); start += opt.TasksPerRound {
+		end := start + opt.TasksPerRound
+		if end > len(queue) {
+			end = len(queue)
+		}
+		for _, c := range queue[start:end] {
+			v := truth.Value(c.o, c.j)
+			if opt.Accuracy < 1 && opt.Rng.Float64() >= opt.Accuracy {
+				v = wrongValue(opt.Rng, v, d.Attrs[c.j].Levels)
+			}
+			imputed.Objects[c.o].Cells[c.j] = dataset.Known(v)
+		}
+		res.TasksPosted += end - start
+		res.Rounds++
+	}
+
+	// Non-candidates may still hold missing cells; they cannot be skyline
+	// members, but their values could wrongly dominate candidates. The
+	// EDBT'13 model computes the skyline over the imputed candidates
+	// against all complete information, so fill the remaining gaps with
+	// the domain minimum (they are dominated anyway and the minimum can
+	// never add spurious dominance).
+	for o := range imputed.Objects {
+		for j := range imputed.Objects[o].Cells {
+			if imputed.Objects[o].Cells[j].Missing {
+				imputed.Objects[o].Cells[j] = dataset.Known(0)
+			}
+		}
+	}
+
+	for _, o := range skyline.BNL(imputed) {
+		if candidate[o] {
+			res.Skyline = append(res.Skyline, o)
+		}
+	}
+	return res, nil
+}
+
+// wrongValue returns a uniformly random domain value different from v.
+func wrongValue(rng *rand.Rand, v, levels int) int {
+	if levels <= 1 {
+		return v
+	}
+	w := rng.Intn(levels - 1)
+	if w >= v {
+		w++
+	}
+	return w
+}

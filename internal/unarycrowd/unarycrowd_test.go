@@ -1,0 +1,147 @@
+package unarycrowd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/metrics"
+	"bayescrowd/internal/skyline"
+)
+
+func TestPerfectWorkersExactSkyline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := dataset.GenIndependent(rng, 150, 4, 8)
+	inc := truth.InjectMissing(rng, 0.15)
+	res, err := Run(inc, truth, Options{Accuracy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := skyline.BNL(truth)
+	if !reflect.DeepEqual(res.Skyline, want) {
+		t.Fatalf("Skyline = %v, want %v", res.Skyline, want)
+	}
+	if res.TasksPosted == 0 {
+		t.Fatal("no unary tasks posted despite missing cells")
+	}
+}
+
+func TestTaskCountEqualsCandidateMissingCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := dataset.GenIndependent(rng, 100, 3, 8)
+	inc := truth.InjectMissing(rng, 0.2)
+	res, err := Run(inc, truth, Options{Accuracy: 1, TasksPerRound: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unary questioning cannot skip any candidate cell: tasks must cover
+	// every missing cell of every non-pruned object, and rounds must be
+	// ⌈tasks/7⌉.
+	totalMissing := 0
+	for i := range inc.Objects {
+		for _, c := range inc.Objects[i].Cells {
+			if c.Missing {
+				totalMissing++
+			}
+		}
+	}
+	if res.TasksPosted > totalMissing {
+		t.Fatalf("posted %d tasks for %d missing cells", res.TasksPosted, totalMissing)
+	}
+	wantRounds := (res.TasksPosted + 6) / 7
+	if res.Rounds != wantRounds {
+		t.Fatalf("Rounds = %d, want %d", res.Rounds, wantRounds)
+	}
+}
+
+func TestDominatedObjectsNotAsked(t *testing.T) {
+	// o2 is completely dominated by o1 on complete evidence; its missing
+	// cell must not cost a task. o3's missing cell must.
+	d := dataset.New([]dataset.Attribute{{Name: "a", Levels: 10}, {Name: "b", Levels: 10}, {Name: "c", Levels: 10}})
+	d.MustAppend(dataset.Object{ID: "o1", Cells: []dataset.Cell{dataset.Known(9), dataset.Known(9), dataset.Known(9)}})
+	d.MustAppend(dataset.Object{ID: "o2", Cells: []dataset.Cell{dataset.Known(1), dataset.Known(1), dataset.Known(1)}})
+	d.MustAppend(dataset.Object{ID: "o3", Cells: []dataset.Cell{dataset.Known(8), dataset.Unknown(), dataset.Known(9)}})
+
+	truth := d.Clone()
+	truth.Objects[2].Cells[1] = dataset.Known(7)
+	// o2 complete and dominated: pruned. But wait — o2 is complete, so
+	// it has no missing cell anyway; give the test teeth with o4.
+	d.MustAppend(dataset.Object{ID: "o4", Cells: []dataset.Cell{dataset.Known(0), dataset.Unknown(), dataset.Known(0)}})
+	truth.MustAppend(dataset.Object{ID: "o4", Cells: []dataset.Cell{dataset.Known(0), dataset.Known(3), dataset.Known(0)}})
+
+	res, err := Run(d, truth, Options{Accuracy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hmm: o4 is incomplete, so the complete-evidence pruning cannot
+	// remove it (its missing b could be 9). Tasks: o3.b and o4.b → 2.
+	if res.TasksPosted != 2 {
+		t.Fatalf("TasksPosted = %d, want 2", res.TasksPosted)
+	}
+	want := skyline.BNL(truth)
+	if !reflect.DeepEqual(res.Skyline, want) {
+		t.Fatalf("Skyline = %v, want %v", res.Skyline, want)
+	}
+}
+
+func TestImperfectWorkersDegradeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := dataset.GenCorrelated(rng, 200, 4, 8, 0.5)
+	inc := truth.InjectMissing(rng, 0.2)
+	want := skyline.BNL(truth)
+
+	perfect, err := Run(inc, truth, Options{Accuracy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fPerfect := metrics.F1(perfect.Skyline, want); fPerfect != 1 {
+		t.Fatalf("perfect-worker F1 = %v", fPerfect)
+	}
+	// The paper's critique: unary imputation is brittle under worker
+	// error (one answer per cell, no majority). A single seed can get
+	// lucky, so average over several worker populations.
+	sum := 0.0
+	const seeds = 10
+	for s := int64(0); s < seeds; s++ {
+		sloppy, err := Run(inc, truth, Options{Accuracy: 0.7, Rng: rand.New(rand.NewSource(40 + s))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += metrics.F1(sloppy.Skyline, want)
+	}
+	if mean := sum / seeds; mean >= 0.999 {
+		t.Fatalf("mean sloppy-worker F1 = %v; unary imputation should degrade", mean)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	truth := dataset.GenIndependent(rng, 10, 2, 4)
+	inc := truth.InjectMissing(rng, 0.3)
+	if _, err := Run(inc, truth, Options{Accuracy: 1.5}); err == nil {
+		t.Error("accepted accuracy > 1")
+	}
+	if _, err := Run(inc, truth, Options{Accuracy: 0.5}); err == nil {
+		t.Error("accepted imperfect workers without Rng")
+	}
+	other := dataset.GenIndependent(rng, 5, 2, 4)
+	if _, err := Run(inc, other, Options{Accuracy: 1}); err == nil {
+		t.Error("accepted mismatched truth shape")
+	}
+}
+
+func TestCompleteDataNeedsNoTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	truth := dataset.GenIndependent(rng, 80, 3, 6)
+	res, err := Run(truth, truth, Options{Accuracy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksPosted != 0 || res.Rounds != 0 {
+		t.Fatalf("complete data cost %d tasks in %d rounds", res.TasksPosted, res.Rounds)
+	}
+	if !reflect.DeepEqual(res.Skyline, skyline.BNL(truth)) {
+		t.Fatal("wrong skyline on complete data")
+	}
+}
