@@ -1,8 +1,18 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench fuzz examples figures figures-paper
+.PHONY: all build test race cover bench bench-smoke fuzz examples figures figures-paper ci fmt-check
 
 all: build test
+
+# ci mirrors .github/workflows/ci.yml exactly (plus the gofmt gate), so a
+# local `make ci` reproduces what the pipeline enforces.
+ci: fmt-check build test race
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	go build ./...
@@ -19,6 +29,11 @@ cover:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# bench-smoke is the nightly workflow's one-iteration pass: benchmarks
+# must at least compile and run on every PR.
+bench-smoke:
+	go test -bench=. -benchtime=1x ./...
 
 fuzz:
 	go test -fuzz FuzzReadCSV -fuzztime 30s ./internal/dataset/

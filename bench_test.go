@@ -71,3 +71,8 @@ func BenchmarkFig11Cardinality(b *testing.B) { runExperiment(b, "fig11") }
 // BenchmarkTable6AMT regenerates Table 6: the simulated live-marketplace
 // F1 of the three strategies.
 func BenchmarkTable6AMT(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkWorkersScaling measures the parallel speedup of the c-table
+// build and the Pr(φ) fan-out across worker counts, verifying
+// bit-identical results at every count.
+func BenchmarkWorkersScaling(b *testing.B) { runExperiment(b, "workers") }

@@ -43,6 +43,7 @@ func main() {
 		m           = flag.Int("m", 15, "HHS early-stop parameter")
 		alpha       = flag.Float64("alpha", 0.01, "Get-CTable pruning threshold (0 disables)")
 		netPath     = flag.String("net", "", "Bayesian network JSON from cmd/bnlearn (default: learn from the data)")
+		workers     = flag.Int("workers", 0, "goroutines for the parallel phases; 0 = one per CPU, 1 = sequential (results are identical either way)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		verbose     = flag.Bool("v", false, "print per-round progress")
 	)
@@ -89,6 +90,7 @@ func main() {
 		Latency:  *latency,
 		Strategy: strat,
 		M:        *m,
+		Workers:  *workers,
 		Rng:      rand.New(rand.NewSource(*seed + 1)),
 	}
 	if *netPath != "" {

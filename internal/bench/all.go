@@ -22,6 +22,7 @@ var Descriptions = map[string]string{
 	"table6":        "simulated AMT practicality study",
 	"ablation":      "answer propagation on/off; BN vs autoencoder vs marginals",
 	"motivation":    "machine-only ISkyline vs inference-only vs budgeted BayesCrowd",
+	"workers":       "parallel scaling: c-table build and Pr(phi) fan-out vs worker count",
 }
 
 // Experiments maps experiment ids (as accepted by cmd/benchfig) to their
@@ -41,6 +42,7 @@ var Experiments = map[string]func(Scale) []*Table{
 	"table6":        Table6,
 	"ablation":      Ablation,
 	"motivation":    Motivation,
+	"workers":       WorkersScaling,
 }
 
 // Names returns the experiment ids in stable presentation order.
@@ -49,6 +51,7 @@ func Names() []string {
 		"fig2": 0, "fig3": 1, "fig3-ablation": 2, "fig4": 3, "fig5": 4,
 		"fig6": 5, "fig7": 6, "fig8": 7, "fig9": 8, "fig10": 9,
 		"fig11": 10, "table6": 11, "ablation": 12, "motivation": 13,
+		"workers": 14,
 	}
 	names := make([]string, 0, len(Experiments))
 	for n := range Experiments {

@@ -56,6 +56,13 @@ type Scale struct {
 	// mean accuracy) to tame quick-scale noise.
 	Reps int
 
+	// Workers bounds the framework's worker pool during measured runs
+	// (core.Options.Workers): 0 means one per CPU. The "workers"
+	// experiment sweeps WorkerCounts instead, recording the scaling
+	// curve of the two dominant costs.
+	Workers      int
+	WorkerCounts []int
+
 	Seed int64
 }
 
@@ -84,6 +91,7 @@ func Paper() Scale {
 		NaiveCap:         2e7,
 		AMTAccuracy:      0.95,
 		Reps:             1,
+		WorkerCounts:     []int{1, 2, 4, 8},
 		Seed:             1,
 	}
 }
@@ -112,6 +120,7 @@ func Quick() Scale {
 		NaiveCap:         2e6,
 		AMTAccuracy:      0.95,
 		Reps:             3,
+		WorkerCounts:     []int{1, 2, 4},
 		Seed:             1,
 	}
 }

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"bayescrowd/internal/core"
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/prob"
+)
+
+// WorkersScaling — beyond the paper: the parallel speedup curve of the
+// framework's two dominant costs, the Get-CTable dominator scan and the
+// initial Pr(φ) fan-out, plus an end-to-end HHS run, across worker
+// counts on the NBA dataset at the scale's default missing rate. The
+// worker pool guarantees bit-identical results at every worker count;
+// the experiment re-verifies that guarantee on the measured runs and
+// reports it alongside the timings, so a regression shows up in the
+// table rather than silently skewing the curve.
+func WorkersScaling(s Scale) []*Table {
+	e := nbaEnv(s, s.NBASize, s.MissingRate)
+	t := &Table{
+		Title: fmt.Sprintf("Workers (NBA n=%d, missing=%.2f): parallel scaling of c-table build and Pr(φ)",
+			s.NBASize, s.MissingRate),
+		Header: []string{"workers", "c-table build", "build speedup", "Pr(φ) fan-out", "prob speedup", "HHS run"},
+	}
+
+	counts := s.WorkerCounts
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+
+	var baseBuild, baseProb time.Duration
+	var refConds []string
+	var refProbs []float64
+	var refAnswers []int
+	for _, w := range counts {
+		buildStart := time.Now()
+		ct := ctable.Build(e.incomplete, ctable.BuildOptions{Alpha: s.NBAAlpha, Workers: w})
+		buildTime := time.Since(buildStart)
+
+		var conds []*ctable.Condition
+		for _, o := range ct.Undecided() {
+			conds = append(conds, ct.Conds[o])
+		}
+		ev := prob.NewEvaluator(e.dists())
+		probStart := time.Now()
+		ps := ev.ProbAll(conds, w)
+		probTime := time.Since(probStart)
+
+		opt := nbaOpts(s, core.HHS)
+		opt.Workers = w
+		out := runBayes(e, opt, 1.0, s.Seed)
+
+		// Determinism gate: every worker count must reproduce the first
+		// one's conditions, probabilities and answer set exactly.
+		condStrs := make([]string, len(ct.Conds))
+		for i, c := range ct.Conds {
+			condStrs[i] = c.String()
+		}
+		verifyOpt := opt
+		verifyOpt.Rng = rand.New(rand.NewSource(s.Seed))
+		res, err := core.RunWithDists(e.incomplete, e.dists(),
+			crowd.NewSimulated(e.truth, 1.0, nil), verifyOpt)
+		if err != nil {
+			panic(err)
+		}
+		if refConds == nil {
+			refConds, refProbs, refAnswers = condStrs, ps, res.Answers
+		} else if !reflect.DeepEqual(condStrs, refConds) ||
+			!reflect.DeepEqual(ps, refProbs) ||
+			!reflect.DeepEqual(res.Answers, refAnswers) {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"DETERMINISM VIOLATION at workers=%d: results differ from workers=%d", w, counts[0]))
+		}
+
+		if baseBuild == 0 {
+			baseBuild, baseProb = buildTime, probTime
+		}
+		t.AddRow(fmt.Sprintf("%d", w),
+			fmtDur(buildTime), speedupCell(baseBuild, buildTime),
+			fmtDur(probTime), speedupCell(baseProb, probTime),
+			fmtDur(out.elapsed))
+	}
+	if len(t.Notes) == 0 {
+		t.Notes = append(t.Notes,
+			"results bit-identical across all worker counts (c-table, Pr(φ), answer set)")
+	}
+	return []*Table{t}
+}
+
+func speedupCell(base, d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(d))
+}

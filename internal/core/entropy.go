@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/parallel"
 	"bayescrowd/internal/prob"
 )
 
@@ -30,4 +31,17 @@ func UtilityWith(ev *prob.Evaluator, cond *ctable.Condition, e ctable.Expr, pPhi
 	pe, _, pTrue, pFalse := ev.CondProbsWith(cond, e, pPhi)
 	expected := pe*Entropy(pTrue) + (1-pe)*Entropy(pFalse)
 	return Entropy(pPhi) - expected
+}
+
+// UtilitiesWith scores every expression of a candidate scan at once,
+// fanning the independent Pr(φ∧e) model-counting runs across at most
+// workers goroutines. out[i] pairs with exprs[i], and each score is
+// computed wholly by one worker, so the vector is bit-identical to a
+// sequential scan at any worker count.
+func UtilitiesWith(ev *prob.Evaluator, cond *ctable.Condition, exprs []ctable.Expr, pPhi float64, workers int) []float64 {
+	out := make([]float64, len(exprs))
+	parallel.For(workers, len(exprs), func(_, i int) {
+		out[i] = UtilityWith(ev, cond, exprs[i], pPhi)
+	})
+	return out
 }

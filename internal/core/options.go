@@ -12,6 +12,7 @@ import (
 	"bayescrowd/internal/bayesnet"
 	"bayescrowd/internal/crowd"
 	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/parallel"
 )
 
 // Strategy selects which expression of a chosen object's condition to
@@ -94,6 +95,17 @@ type Options struct {
 	// answer-propagation ablation.
 	NoInference bool
 
+	// Workers bounds the goroutines the framework fans independent work
+	// out to: the c-table dominator scan and CNF construction, the
+	// per-object Pr(φ) computation and per-round recomputation, and the
+	// UBS/HHS utility scoring of candidate expressions. <= 0 (the zero
+	// value) means one worker per available CPU (runtime.GOMAXPROCS(0));
+	// 1 runs every phase exactly as the sequential implementation did.
+	// Results are bit-identical at any setting — each unit of work is
+	// computed wholly by one worker and merged in a fixed index order, so
+	// parallelism changes only wall-clock time.
+	Workers int
+
 	// Rng drives tie-breaking; defaults to a fixed seed.
 	Rng *rand.Rand
 
@@ -117,6 +129,7 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Rng == nil {
 		o.Rng = rand.New(rand.NewSource(1))
 	}
+	o.Workers = parallel.Workers(o.Workers)
 	return o, nil
 }
 

@@ -26,7 +26,7 @@ func Run(d *dataset.Dataset, platform crowd.Platform, opt Options) (*Result, err
 		return nil, err
 	}
 
-	ct := ctable.Build(d, ctable.BuildOptions{Alpha: opt.Alpha})
+	ct := ctable.Build(d, ctable.BuildOptions{Alpha: opt.Alpha, Workers: opt.Workers})
 	return crowdPhase(d, ct, base, platform, opt)
 }
 
@@ -41,7 +41,7 @@ func RunWithDists(d *dataset.Dataset, base prob.Dists, platform crowd.Platform, 
 	if err != nil {
 		return nil, err
 	}
-	ct := ctable.Build(d, ctable.BuildOptions{Alpha: opt.Alpha})
+	ct := ctable.Build(d, ctable.BuildOptions{Alpha: opt.Alpha, Workers: opt.Workers})
 	return crowdPhase(d, ct, base, platform, opt)
 }
 
@@ -67,11 +67,20 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	// Satisfaction probabilities are cached across rounds and recomputed
 	// only for conditions that mention a variable an answer touched: a
 	// 20-task round changes at most 40 variables, so most conditions keep
-	// their probability.
-	probs := make(map[int]float64)
+	// their probability. The initial fan-out is the framework's single
+	// biggest model-counting bill, so it runs on the worker pool; the
+	// merge below walks the undecided list in index order, keeping the
+	// map contents identical to the sequential build.
+	undecided := ct.Undecided()
+	conds := make([]*ctable.Condition, len(undecided))
+	for i, o := range undecided {
+		conds[i] = ct.Conds[o]
+	}
+	initial := ev.ProbAll(conds, opt.Workers)
+	probs := make(map[int]float64, len(undecided))
 	varToObjs := map[ctable.Var][]int{}
-	for _, o := range ct.Undecided() {
-		probs[o] = ev.Prob(ct.Conds[o])
+	for i, o := range undecided {
+		probs[o] = initial[i]
 		for _, v := range ct.Conds[o].Vars() {
 			varToObjs[v] = append(varToObjs[v], o)
 		}
@@ -141,8 +150,13 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 
 		// Re-simplify exactly the conditions that mention a touched
 		// variable, and recompute Pr only where the condition actually
-		// changed or a referenced distribution did.
+		// changed or a referenced distribution did. Simplification and
+		// the eff/Knowledge writes above are single-threaded; only the
+		// independent Pr recomputations fan out, and the pool join inside
+		// ProbAll publishes this round's mutations to every worker before
+		// any solver reads them (the Evaluator's single-writer contract).
 		seen := map[int]bool{}
+		var stale []int
 		for v := range touched {
 			for _, o := range varToObjs[v] {
 				if seen[o] {
@@ -169,9 +183,20 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 					}
 				}
 				if recompute {
-					probs[o] = ev.Prob(cond)
+					stale = append(stale, o)
 				}
 			}
+		}
+		// touched is a map, so the gather order above is nondeterministic;
+		// sorting fixes the fan-out schedule (the values themselves are
+		// order-independent — one object, one worker, one write).
+		sort.Ints(stale)
+		staleConds := make([]*ctable.Condition, len(stale))
+		for i, o := range stale {
+			staleConds[i] = ct.Conds[o]
+		}
+		for i, p := range ev.ProbAll(staleConds, opt.Workers) {
+			probs[stale[i]] = p
 		}
 
 		if opt.OnRound != nil {

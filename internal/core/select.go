@@ -5,6 +5,7 @@ import (
 
 	"bayescrowd/internal/crowd"
 	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/parallel"
 	"bayescrowd/internal/prob"
 )
 
@@ -19,12 +20,20 @@ func selectBatch(opt Options, ct *ctable.CTable, ev *prob.Evaluator, probs map[i
 		obj int
 		h   float64
 	}
+	// Entropy scoring fans out across the pool (concurrent map reads of
+	// probs are safe — nothing writes during selection); candidates are
+	// then collected sequentially in index order, exactly as before.
+	undecided := ct.Undecided()
+	hs := make([]float64, len(undecided))
+	parallel.For(opt.Workers, len(undecided), func(_, i int) {
+		hs[i] = Entropy(probs[undecided[i]])
+	})
 	var cands []candidate
-	for _, o := range ct.Undecided() {
+	for i, o := range undecided {
 		if ct.Conds[o].NumExprs() == 0 {
 			continue
 		}
-		cands = append(cands, candidate{obj: o, h: Entropy(probs[o])})
+		cands = append(cands, candidate{obj: o, h: hs[i]})
 	}
 	if len(cands) == 0 || k <= 0 {
 		return nil
@@ -110,21 +119,35 @@ func pickExpr(opt Options, ev *prob.Evaluator, cond *ctable.Condition, pPhi floa
 		return avail[0], true
 
 	case UBS:
+		// UBS scores every available expression anyway, so the utilities
+		// fan out wholesale; the argmax scan below visits them in the
+		// same order as the sequential loop did.
+		gains := UtilitiesWith(ev, cond, avail, pPhi, opt.Workers)
 		best, bestG := avail[0], -1.0
-		for _, e := range avail {
-			if g := UtilityWith(ev, cond, e, pPhi); g > bestG {
-				best, bestG = e, g
+		for i, e := range avail {
+			if gains[i] > bestG {
+				best, bestG = e, gains[i]
 			}
 		}
 		return best, true
 
 	case HHS:
 		// Algorithm 4 lines 10-22: visit in frequency order, early-stop
-		// after m consecutive expressions without improvement.
+		// after m consecutive expressions without improvement. With more
+		// than one worker the utilities are precomputed speculatively —
+		// scores past the stop point are wasted work, never a changed
+		// decision, because the scan below applies the identical
+		// early-stop rule to identical values. One worker keeps the lazy
+		// sequential scan and today's exact work profile.
+		gain := func(i int) float64 { return UtilityWith(ev, cond, avail[i], pPhi) }
+		if opt.Workers > 1 {
+			gains := UtilitiesWith(ev, cond, avail, pPhi, opt.Workers)
+			gain = func(i int) float64 { return gains[i] }
+		}
 		best, bestG := avail[0], 0.0
 		c := 0
-		for _, e := range avail {
-			g := UtilityWith(ev, cond, e, pPhi)
+		for i, e := range avail {
+			g := gain(i)
 			if g > bestG {
 				best, bestG = e, g
 				c = 0

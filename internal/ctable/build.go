@@ -5,6 +5,7 @@ import (
 
 	"bayescrowd/internal/bitset"
 	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/parallel"
 	"bayescrowd/internal/skyline"
 )
 
@@ -34,6 +35,12 @@ type BuildOptions struct {
 	// Baseline (Figure 2's comparator) instead of the sorted/bitwise
 	// index. The resulting c-table is identical.
 	Pairwise bool
+	// Workers bounds the goroutines the per-object dominator scan and
+	// CNF construction fan out across: <= 0 means one per available CPU,
+	// 1 keeps the build fully sequential. Objects are independent and
+	// every result lands in its own slot, so the c-table is identical at
+	// any setting.
+	Workers int
 }
 
 // Build constructs the c-table for a skyline query over the incomplete
@@ -46,13 +53,21 @@ func Build(d *dataset.Dataset, opt BuildOptions) *CTable {
 	if !opt.Pairwise {
 		ix = NewDomIndex(d)
 	}
-	dom := bitset.New(n)
 	limit := -1
 	if opt.Alpha > 0 {
 		limit = int(opt.Alpha * float64(n))
 	}
 
-	for o := 0; o < n; o++ {
+	// Objects partition across the pool; each worker owns one dominator
+	// bitset as scratch and writes only the slots of the objects it was
+	// handed, so the table is identical at any worker count.
+	workers := parallel.Workers(opt.Workers)
+	doms := make([]*bitset.Set, workers)
+	for w := range doms {
+		doms[w] = bitset.New(n)
+	}
+	parallel.For(workers, n, func(w, o int) {
+		dom := doms[w]
 		if opt.Pairwise {
 			DominatorsPairwise(d, o, dom)
 		} else {
@@ -67,9 +82,13 @@ func Build(d *dataset.Dataset, opt BuildOptions) *CTable {
 		case limit >= 0 && size > limit:
 			ct.Conds[o] = False() // deemed dominated (α pruning)
 			ct.PrunedByAlpha[o] = true
-			ct.Pruned++
 		default:
 			ct.Conds[o] = buildCondition(d, o, dom)
+		}
+	})
+	for _, pruned := range ct.PrunedByAlpha {
+		if pruned {
+			ct.Pruned++
 		}
 	}
 	return ct

@@ -1,0 +1,53 @@
+package ctable
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bayescrowd/internal/dataset"
+)
+
+// TestBuildWorkersEquivalence asserts the parallel dominator scan and CNF
+// construction reproduce the sequential c-table exactly — conditions,
+// dominator-set sizes and α-pruning statistics — for both derivation
+// paths, across seeded random datasets.
+func TestBuildWorkersEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		truth := dataset.GenNBA(rng, 300)
+		d := truth.InjectMissing(rng, 0.15)
+		for _, pairwise := range []bool{false, true} {
+			seq := Build(d, BuildOptions{Alpha: 0.05, Pairwise: pairwise, Workers: 1})
+			for _, workers := range []int{2, 7, 32} {
+				par := Build(d, BuildOptions{Alpha: 0.05, Pairwise: pairwise, Workers: workers})
+				if !reflect.DeepEqual(par.DomSizes, seq.DomSizes) {
+					t.Fatalf("seed %d pairwise=%v workers=%d: DomSizes differ", seed, pairwise, workers)
+				}
+				if par.Pruned != seq.Pruned || !reflect.DeepEqual(par.PrunedByAlpha, seq.PrunedByAlpha) {
+					t.Fatalf("seed %d pairwise=%v workers=%d: pruning stats differ (%d vs %d)",
+						seed, pairwise, workers, par.Pruned, seq.Pruned)
+				}
+				for o := range seq.Conds {
+					if got, want := par.Conds[o].String(), seq.Conds[o].String(); got != want {
+						t.Fatalf("seed %d pairwise=%v workers=%d: φ(o%d) = %q, want %q",
+							seed, pairwise, workers, o, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildParallelRace hammers the parallel build with more objects than
+// workers; `go test -race` is the gate here — per-worker dominator
+// bitsets must never be shared across in-flight objects.
+func TestBuildParallelRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	truth := dataset.GenNBA(rng, 1000)
+	d := truth.InjectMissing(rng, 0.1)
+	ct := Build(d, BuildOptions{Alpha: 0.01, Workers: 8})
+	if len(ct.Conds) != d.Len() {
+		t.Fatalf("built %d conditions for %d objects", len(ct.Conds), d.Len())
+	}
+}

@@ -1,0 +1,82 @@
+// Package parallel provides the bounded worker pool behind the
+// framework's data-parallel fan-outs: the c-table dominator scan, the
+// per-object Pr(φ) evaluations, and candidate scoring. Every fan-out is
+// index-addressed — workers write results to disjoint slots of a
+// pre-sized slice and the caller merges in index order — so the output
+// is bit-identical to sequential execution at any worker count: no
+// floating-point value is ever reassociated across workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a worker-count option: values <= 0 mean one worker
+// per available CPU (runtime.GOMAXPROCS(0)); positive values pass
+// through unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For invokes f(w, i) exactly once for every i in [0, n), fanning the
+// indices out across at most workers goroutines. w identifies the
+// executing worker (0 <= w < min(workers, n)), so callers can hand each
+// worker its own scratch space. With workers <= 1 or n <= 1 every call
+// runs inline on the calling goroutine in ascending index order — the
+// exact sequential baseline.
+//
+// Indices are handed out dynamically through a shared atomic cursor, so
+// per-index cost imbalance does not idle workers. For returns only after
+// every invocation has finished, which establishes a happens-before edge
+// between all f calls and the caller's next statement: writes made by f
+// are visible to the caller, and the caller's subsequent writes are
+// visible to the next For. A panic inside f is re-raised on the calling
+// goroutine once the pool has drained.
+func For(workers, n int, f func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+
+	var (
+		cursor    atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalise(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 17} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 1000} {
+			hits := make([]int32, n)
+			For(workers, n, func(_, i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForSequentialInlineOrder(t *testing.T) {
+	var order []int
+	For(1, 5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("sequential worker id = %d, want 0", w)
+		}
+		order = append(order, i)
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const workers, n = 4, 64
+	var bad atomic.Int32
+	For(workers, n, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d invocations saw an out-of-range worker id", bad.Load())
+	}
+}
+
+// TestForMoreWorkItemsThanWorkers hammers the pool with far more items
+// than workers while every worker mutates its own scratch slot — the
+// per-worker-scratch pattern ctable.Build relies on. Run under -race this
+// is the pool's data-race gate.
+func TestForMoreWorkItemsThanWorkers(t *testing.T) {
+	const workers, n = 8, 10000
+	scratch := make([][]int, workers)
+	total := make([]int64, n)
+	For(workers, n, func(w, i int) {
+		scratch[w] = append(scratch[w], i)
+		total[i] = int64(i) * 2
+	})
+	sum := 0
+	for _, s := range scratch {
+		sum += len(s)
+	}
+	if sum != n {
+		t.Fatalf("workers processed %d items, want %d", sum, n)
+	}
+	for i, v := range total {
+		if v != int64(i)*2 {
+			t.Fatalf("total[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			For(workers, 100, func(_, i int) {
+				if i == 37 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: For returned instead of panicking", workers)
+		}()
+	}
+}

@@ -39,7 +39,9 @@ func (ev *Evaluator) ApproxCount(c *ctable.Condition, samplesPerLevel int, rng *
 		panic(fmt.Sprintf("prob: ApproxCount with %d samples per level", samplesPerLevel))
 	}
 	s, clauses := newSolver(ev, clone2(c.Clauses))
-	return s.approxCount(clauses, samplesPerLevel, rng)
+	p := s.approxCount(clauses, samplesPerLevel, rng)
+	s.release()
+	return p
 }
 
 func clone2(clauses [][]ctable.Expr) [][]ctable.Expr {

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 
 	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/parallel"
 )
 
 // Dists maps every variable appearing in the conditions under evaluation
@@ -55,6 +56,16 @@ type Options struct {
 
 // Evaluator computes condition probabilities against a fixed set of
 // variable distributions.
+//
+// Concurrency: the evaluator is safe for concurrent use by multiple
+// goroutines provided none of them mutates Dists (or the distribution
+// slices it holds) while evaluations are in flight — every method only
+// reads the map, and solver scratch is per-call (pooled, never shared
+// between in-flight evaluations). The framework is single-writer: crowd
+// answers renormalise distributions strictly between parallel fan-outs,
+// and the pool join inside ProbAll / parallel.For publishes those writes
+// to the workers of the next fan-out (a happens-before edge). Callers
+// adding their own concurrency must preserve that discipline.
 type Evaluator struct {
 	Dists Dists
 	Opt   Options
@@ -124,7 +135,23 @@ func (ev *Evaluator) Prob(c *ctable.Condition) float64 {
 // probClauses runs ADPLL over a raw clause set.
 func (ev *Evaluator) probClauses(clauses [][]ctable.Expr) float64 {
 	s, interned := newSolver(ev, clauses)
-	return s.adpll(interned)
+	p := s.adpll(interned)
+	s.release()
+	return p
+}
+
+// ProbAll computes Pr(φ) for every condition, fanning the independent
+// evaluations across at most workers goroutines (<= 0 means one per CPU,
+// 1 runs inline sequentially). out[i] corresponds to conds[i], so the
+// merge order — and therefore every returned float — is bit-identical at
+// any worker count: each condition is evaluated wholly by one worker and
+// no sum is reassociated across workers.
+func (ev *Evaluator) ProbAll(conds []*ctable.Condition, workers int) []float64 {
+	out := make([]float64, len(conds))
+	parallel.For(parallel.Workers(workers), len(conds), func(_, i int) {
+		out[i] = ev.Prob(conds[i])
+	})
+	return out
 }
 
 // Naive returns Pr(φ) by enumerating every combination of the condition's

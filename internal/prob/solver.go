@@ -2,6 +2,7 @@ package prob
 
 import (
 	"fmt"
+	"sync"
 
 	"bayescrowd/internal/ctable"
 )
@@ -20,6 +21,7 @@ type cexpr struct {
 
 type solver struct {
 	opt   Options
+	ids   map[ctable.Var]int32
 	dists [][]float64 // per var id
 	// assign[v] is the branched value of var v, or -1.
 	assign []int32
@@ -31,18 +33,29 @@ type solver struct {
 	owner   []int
 }
 
-// newSolver interns the variables of the clause set and captures their
-// distributions.
+// solverPool recycles solver scratch across evaluations. sync.Pool is
+// concurrency-safe, so during a parallel fan-out each in-flight Prob call
+// owns a private solver: per-worker scratch without locks, and the hot
+// path stays allocation-lean even under contention.
+var solverPool = sync.Pool{
+	New: func() any { return &solver{ids: map[ctable.Var]int32{}} },
+}
+
+// newSolver acquires pooled scratch, interns the variables of the clause
+// set and captures their distributions. Callers return the solver with
+// release once the evaluation is done.
 func newSolver(ev *Evaluator, clauses [][]ctable.Expr) (*solver, [][]cexpr) {
-	ids := map[ctable.Var]int32{}
-	var dists [][]float64
+	s := solverPool.Get().(*solver)
+	s.opt = ev.Opt
+	s.dists = s.dists[:0]
+	clear(s.ids)
 	intern := func(v ctable.Var) int32 {
-		if id, ok := ids[v]; ok {
+		if id, ok := s.ids[v]; ok {
 			return id
 		}
-		id := int32(len(dists))
-		ids[v] = id
-		dists = append(dists, ev.dist(v))
+		id := int32(len(s.dists))
+		s.ids[v] = id
+		s.dists = append(s.dists, ev.dist(v))
 		return id
 	}
 	out := make([][]cexpr, len(clauses))
@@ -60,20 +73,41 @@ func newSolver(ev *Evaluator, clauses [][]ctable.Expr) (*solver, [][]cexpr) {
 		}
 		out[i] = ce
 	}
-	n := len(dists)
-	s := &solver{
-		opt:     ev.Opt,
-		dists:   dists,
-		assign:  make([]int32, n),
-		seenEp:  make([]int, n),
-		counts:  make([]int, n),
-		ownerEp: make([]int, n),
-		owner:   make([]int, n),
+	s.grow(len(s.dists))
+	return s, out
+}
+
+// grow sizes the per-variable scratch for n interned variables. The epoch
+// counter is deliberately preserved across reuse: every epoch-guarded
+// lookup first increments s.epoch, so entries left over from earlier
+// evaluations (all stamped with strictly older epochs) can never alias a
+// fresh one — which is what makes recycling safe without clearing.
+func (s *solver) grow(n int) {
+	if cap(s.assign) < n {
+		s.assign = make([]int32, n)
+		s.seenEp = make([]int, n)
+		s.counts = make([]int, n)
+		s.ownerEp = make([]int, n)
+		s.owner = make([]int, n)
+	} else {
+		s.assign = s.assign[:n]
+		s.seenEp = s.seenEp[:n]
+		s.counts = s.counts[:n]
+		s.ownerEp = s.ownerEp[:n]
+		s.owner = s.owner[:n]
 	}
 	for i := range s.assign {
 		s.assign[i] = -1
 	}
-	return s, out
+}
+
+// release returns the solver's scratch to the pool, dropping the captured
+// distribution references so pooled scratch never pins caller data.
+func (s *solver) release() {
+	for i := range s.dists {
+		s.dists[i] = nil
+	}
+	solverPool.Put(s)
 }
 
 // exprProb is ExprProb over interned expressions and (possibly branched)
