@@ -58,6 +58,7 @@ import (
 	"bayescrowd/internal/dae"
 	"bayescrowd/internal/dataset"
 	"bayescrowd/internal/metrics"
+	"bayescrowd/internal/prob"
 	"bayescrowd/internal/skyline"
 )
 
@@ -147,6 +148,11 @@ type Options = core.Options
 // Result reports the answer set, per-object probabilities, and the cost
 // metrics (tasks = money, rounds = latency) of a run.
 type Result = core.Result
+
+// CacheStats reports the component probability cache's hit/miss/eviction/
+// invalidation counters (Result.Cache); see the prob package for the cache
+// itself.
+type CacheStats = prob.CacheStats
 
 // Platform is the crowdsourcing marketplace interface: one Post call is
 // one latency round.

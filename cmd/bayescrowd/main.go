@@ -44,6 +44,8 @@ func main() {
 		alpha       = flag.Float64("alpha", 0.01, "Get-CTable pruning threshold (0 disables)")
 		netPath     = flag.String("net", "", "Bayesian network JSON from cmd/bnlearn (default: learn from the data)")
 		workers     = flag.Int("workers", 0, "goroutines for the parallel phases; 0 = one per CPU, 1 = sequential (results are identical either way)")
+		nocache     = flag.Bool("nocache", false, "disable the component probability cache (results are identical either way)")
+		cacheSize   = flag.Int("cachesize", 0, "max memoized components; 0 = default bound")
 		seed        = flag.Int64("seed", 1, "random seed")
 		verbose     = flag.Bool("v", false, "print per-round progress")
 	)
@@ -85,13 +87,15 @@ func main() {
 	}
 
 	opts := bayescrowd.Options{
-		Alpha:    *alpha,
-		Budget:   *budget,
-		Latency:  *latency,
-		Strategy: strat,
-		M:        *m,
-		Workers:  *workers,
-		Rng:      rand.New(rand.NewSource(*seed + 1)),
+		Alpha:     *alpha,
+		Budget:    *budget,
+		Latency:   *latency,
+		Strategy:  strat,
+		M:         *m,
+		Workers:   *workers,
+		NoCache:   *nocache,
+		CacheSize: *cacheSize,
+		Rng:       rand.New(rand.NewSource(*seed + 1)),
 	}
 	if *netPath != "" {
 		f, err := os.Open(*netPath)

@@ -27,6 +27,7 @@ func main() {
 		scaleFlag = flag.String("scale", "quick", `experiment scale: "quick" or "paper"`)
 		allFlag   = flag.Bool("all", false, "run every experiment")
 		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+		noCache   = flag.Bool("nocache", false, "disable the component probability cache in measured runs (the cache experiment always measures both modes)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchfig: unknown scale %q (want quick or paper)\n", *scaleFlag)
 		os.Exit(2)
 	}
+	scale.NoCache = *noCache
 
 	switch {
 	case *allFlag:

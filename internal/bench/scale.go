@@ -63,6 +63,11 @@ type Scale struct {
 	Workers      int
 	WorkerCounts []int
 
+	// NoCache disables the component probability cache in every measured
+	// run (core.Options.NoCache) — the "cache" experiment ignores it and
+	// always measures both modes.
+	NoCache bool
+
 	Seed int64
 }
 

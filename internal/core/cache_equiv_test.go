@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/prob"
+)
+
+// TestCacheEquivalence is the component cache's correctness gate: full
+// framework runs with the cache on and off, over identical datasets,
+// seeds, and strategies, must produce identical answer sets and final
+// probabilities within 1e-12. The cached mode scores UBS/HHS candidates
+// through the incremental component scan while NoCache re-solves the full
+// formula per candidate (the legacy cost profile the cache experiment
+// compares against); the two factor the same product in a different
+// order, hence the 1e-12 tolerance rather than exact equality.
+func TestCacheEquivalence(t *testing.T) {
+	for _, strat := range []Strategy{FBS, UBS, HHS} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			truth := dataset.GenNBA(rng, 150)
+			d := truth.InjectMissing(rng, 0.15)
+			base, err := Preprocess(d, Options{MarginalsOnly: true, Budget: 1, Latency: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			run := func(noCache bool) *Result {
+				res, err := RunWithDists(d, base, crowd.NewSimulated(truth, 1.0, nil), Options{
+					Alpha: 0.05, Budget: 30, Latency: 5, Strategy: strat, M: 3,
+					NoCache: noCache, Workers: 1, Rng: rand.New(rand.NewSource(seed * 7)),
+				})
+				if err != nil {
+					t.Fatalf("RunWithDists(NoCache=%v): %v", noCache, err)
+				}
+				return res
+			}
+
+			cached, plain := run(false), run(true)
+			if cached.Cache.Hits == 0 {
+				t.Errorf("%v seed %d: cached run recorded no cache hits: %+v", strat, seed, cached.Cache)
+			}
+			if plain.Cache != (prob.CacheStats{}) {
+				t.Errorf("%v seed %d: NoCache run reports cache activity: %+v", strat, seed, plain.Cache)
+			}
+			if !reflect.DeepEqual(cached.Answers, plain.Answers) {
+				t.Errorf("%v seed %d: answer sets differ between cache on and off\n on:  %v\n off: %v",
+					strat, seed, cached.Answers, plain.Answers)
+			}
+			if len(cached.Probs) != len(plain.Probs) {
+				t.Fatalf("%v seed %d: tracked-object sets differ: %d vs %d objects",
+					strat, seed, len(cached.Probs), len(plain.Probs))
+			}
+			for o, p := range cached.Probs {
+				q, ok := plain.Probs[o]
+				if !ok {
+					t.Fatalf("%v seed %d: object %d tracked only with cache on", strat, seed, o)
+				}
+				if math.Abs(p-q) > 1e-12 {
+					t.Errorf("%v seed %d: Pr(φ(o%d)) drifts: cached %v vs uncached %v", strat, seed, o, p, q)
+				}
+			}
+		}
+	}
+}
+
+// TestCacheInvalidationWired checks the run loop actually invalidates: a
+// run whose crowd answers renormalise distributions must report bumped
+// variables, and the final probabilities must match the uncached truth —
+// i.e. no stale component survived an answer (the dangerous failure mode
+// a cache can introduce).
+func TestCacheInvalidationWired(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	truth := dataset.GenNBA(rng, 200)
+	d := truth.InjectMissing(rng, 0.25)
+	res, err := Run(d, crowd.NewSimulated(truth, 1.0, nil), Options{
+		Alpha: 0.05, Budget: 40, Latency: 5, Strategy: UBS,
+		MarginalsOnly: true, Workers: 1, Rng: rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.Invalidated == 0 {
+		t.Fatalf("run absorbed %d tasks but invalidated no variables: %+v", res.TasksPosted, res.Cache)
+	}
+	if res.Cache.Hits == 0 {
+		t.Fatalf("run recorded no cache hits: %+v", res.Cache)
+	}
+}

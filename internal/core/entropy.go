@@ -45,3 +45,26 @@ func UtilitiesWith(ev *prob.Evaluator, cond *ctable.Condition, exprs []ctable.Ex
 	})
 	return out
 }
+
+// UtilityScan is UtilityWith through a component scan: the condition's
+// untouched components contribute a precomputed product instead of being
+// re-solved for every candidate. The scan carries its own Pr(φ).
+func UtilityScan(scan *prob.CondScan, e ctable.Expr) float64 {
+	pe, pPhi, pTrue, pFalse := scan.CondProbs(e)
+	expected := pe*Entropy(pTrue) + (1-pe)*Entropy(pFalse)
+	return Entropy(pPhi) - expected
+}
+
+// UtilitiesScan is UtilitiesWith through a component scan. Scoring the
+// whole candidate set at once is what lets the scan plan marginal
+// sweeps — one shared model-counting pass per heavily-probed component
+// instead of one run per candidate. PlanSweeps runs before the fan-out,
+// so the scan is read-only while workers probe it.
+func UtilitiesScan(scan *prob.CondScan, exprs []ctable.Expr, workers int) []float64 {
+	scan.PlanSweeps(exprs)
+	out := make([]float64, len(exprs))
+	parallel.For(workers, len(exprs), func(_, i int) {
+		out[i] = UtilityScan(scan, exprs[i])
+	})
+	return out
+}

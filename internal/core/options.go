@@ -8,11 +8,13 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"bayescrowd/internal/bayesnet"
 	"bayescrowd/internal/crowd"
 	"bayescrowd/internal/ctable"
 	"bayescrowd/internal/parallel"
+	"bayescrowd/internal/prob"
 )
 
 // Strategy selects which expression of a chosen object's condition to
@@ -95,6 +97,17 @@ type Options struct {
 	// answer-propagation ablation.
 	NoInference bool
 
+	// NoCache disables the connected-component probability cache the
+	// crowdsourcing phase keeps across Pr(φ) evaluations (see
+	// prob.ComponentCache) — the cache ablation. Cached and uncached runs
+	// return bit-identical results; the cache changes only wall-clock
+	// time.
+	NoCache bool
+	// CacheSize bounds the component cache to at most this many memoized
+	// components; <= 0 (the zero value) selects prob.DefaultCacheSize.
+	// Ignored when NoCache is set.
+	CacheSize int
+
 	// Workers bounds the goroutines the framework fans independent work
 	// out to: the c-table dominator scan and CNF construction, the
 	// per-object Pr(φ) computation and per-round recomputation, and the
@@ -103,7 +116,10 @@ type Options struct {
 	// 1 runs every phase exactly as the sequential implementation did.
 	// Results are bit-identical at any setting — each unit of work is
 	// computed wholly by one worker and merged in a fixed index order, so
-	// parallelism changes only wall-clock time.
+	// parallelism changes only wall-clock time. (The one exception is the
+	// Result.Cache hit/miss counters, which depend on scheduling: two
+	// workers may both miss a component that one worker would compute
+	// once and then hit. The cached values themselves are identical.)
 	Workers int
 
 	// Rng drives tie-breaking; defaults to a fixed seed.
@@ -154,4 +170,15 @@ type Result struct {
 	// CTable is the final conditional table after all answers were
 	// absorbed, for inspection and reporting.
 	CTable *ctable.CTable
+	// Cache reports the component cache's hit/miss/eviction/invalidation
+	// counters for the run (all zero under Options.NoCache).
+	Cache prob.CacheStats
+	// SelectTime and ProbTime break the crowdsourcing phase's wall time
+	// into its two model-counting bills: cumulative task selection (the
+	// UBS/HHS candidate scoring the component cache accelerates) and
+	// cumulative Pr(φ) maintenance (the initial fan-out plus the per-round
+	// stale recomputation). They are measured around sequential sections
+	// of the round loop, so they are safe at any worker count.
+	SelectTime time.Duration
+	ProbTime   time.Duration
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sort"
+	"time"
 
 	"bayescrowd/internal/crowd"
 	"bayescrowd/internal/ctable"
@@ -45,6 +46,19 @@ func RunWithDists(d *dataset.Dataset, base prob.Dists, platform crowd.Platform, 
 	return crowdPhase(d, ct, base, platform, opt)
 }
 
+// RunCrowdPhase runs only the crowdsourcing phase against an already-built
+// c-table and precomputed posteriors. The benchmark harness uses it to
+// time task selection and probability maintenance apart from the c-table
+// build (which it re-runs untimed per repetition — crowdPhase simplifies
+// the table's conditions in place).
+func RunCrowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform crowd.Platform, opt Options) (*Result, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return crowdPhase(d, ct, base, platform, opt)
+}
+
 // crowdPhase runs the crowdsourcing loop against an already-built c-table
 // and base posteriors. Exposed within the package so benchmarks can time
 // it apart from preprocessing.
@@ -58,7 +72,15 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	for v, dist := range base {
 		eff[v] = dist
 	}
-	ev := &prob.Evaluator{Dists: eff}
+	ev := &prob.Evaluator{Dists: eff, Opt: prob.Options{NoCache: opt.NoCache}}
+	if !opt.NoCache {
+		// The component cache persists across every Pr(φ) evaluation of
+		// the run — the initial fan-out, the UBS/HHS candidate scans, and
+		// the cross-round stale recomputation — and is invalidated
+		// per-variable below, right where crowd answers renormalise
+		// distributions.
+		ev.Cache = prob.NewComponentCache(opt.CacheSize)
+	}
 
 	result := &Result{}
 	remaining := opt.Budget
@@ -76,7 +98,9 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	for i, o := range undecided {
 		conds[i] = ct.Conds[o]
 	}
+	probStart := time.Now()
 	initial := ev.ProbAll(conds, opt.Workers)
+	result.ProbTime += time.Since(probStart)
 	probs := make(map[int]float64, len(undecided))
 	varToObjs := map[ctable.Var][]int{}
 	for i, o := range undecided {
@@ -85,6 +109,16 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 			varToObjs[v] = append(varToObjs[v], o)
 		}
 	}
+
+	// Per-round scratch, hoisted out of the loop and cleared in place each
+	// round instead of reallocated — the round count times the map sizes
+	// adds up at paper scale.
+	touched := map[ctable.Var]bool{}
+	distChanged := map[ctable.Var]bool{}
+	seen := map[int]bool{}
+	var buf, changedVars []ctable.Var
+	var stale []int
+	var staleConds []*ctable.Condition
 
 	for remaining > 0 {
 		if len(probs) == 0 {
@@ -95,7 +129,9 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		if remaining < k {
 			k = remaining
 		}
+		selectStart := time.Now()
 		tasks := selectBatch(opt, ct, ev, probs, k)
+		result.SelectTime += time.Since(selectStart)
 		if len(tasks) == 0 {
 			break // nothing conflict-free left to ask
 		}
@@ -126,9 +162,8 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		// variable's interval (and hence its distribution); var-vs-var
 		// answers record a pairwise relation and leave distributions
 		// untouched.
-		touched := map[ctable.Var]bool{}
-		distChanged := map[ctable.Var]bool{}
-		var buf []ctable.Var
+		clear(touched)
+		clear(distChanged)
 		for _, a := range answers {
 			if err := know.Absorb(a.Task.Expr, a.Rel); err != nil {
 				if errors.Is(err, ctable.ErrConflict) {
@@ -137,7 +172,8 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 				}
 				return nil, err
 			}
-			for _, v := range a.Task.Expr.Vars(buf[:0]) {
+			buf = a.Task.Expr.Vars(buf[:0])
+			for _, v := range buf {
 				touched[v] = true
 			}
 			if a.Task.Expr.Kind != ctable.VarGTVar && !opt.NoInference {
@@ -148,6 +184,19 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 			}
 		}
 
+		// A renormalised distribution stales every memoized component
+		// mentioning its variable. This is the single-writer gap between
+		// fan-outs, exactly where the cache's Invalidate contract wants
+		// the call; merely-rewritten conditions need no bump — their
+		// components' fingerprints change, so stale entries can't be hit.
+		if ev.Cache != nil && len(distChanged) > 0 {
+			changedVars = changedVars[:0]
+			for v := range distChanged {
+				changedVars = append(changedVars, v)
+			}
+			ev.Cache.Invalidate(changedVars...)
+		}
+
 		// Re-simplify exactly the conditions that mention a touched
 		// variable, and recompute Pr only where the condition actually
 		// changed or a referenced distribution did. Simplification and
@@ -155,8 +204,8 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		// independent Pr recomputations fan out, and the pool join inside
 		// ProbAll publishes this round's mutations to every worker before
 		// any solver reads them (the Evaluator's single-writer contract).
-		seen := map[int]bool{}
-		var stale []int
+		clear(seen)
+		stale = stale[:0]
 		for v := range touched {
 			for _, o := range varToObjs[v] {
 				if seen[o] {
@@ -191,13 +240,15 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		// sorting fixes the fan-out schedule (the values themselves are
 		// order-independent — one object, one worker, one write).
 		sort.Ints(stale)
-		staleConds := make([]*ctable.Condition, len(stale))
-		for i, o := range stale {
-			staleConds[i] = ct.Conds[o]
+		staleConds = staleConds[:0]
+		for _, o := range stale {
+			staleConds = append(staleConds, ct.Conds[o])
 		}
+		probStart = time.Now()
 		for i, p := range ev.ProbAll(staleConds, opt.Workers) {
 			probs[stale[i]] = p
 		}
+		result.ProbTime += time.Since(probStart)
 
 		if opt.OnRound != nil {
 			opt.OnRound(result.Rounds, len(tasks), len(probs))
@@ -218,5 +269,8 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	sort.Ints(answers)
 	result.Answers = answers
 	result.CTable = ct
+	if ev.Cache != nil {
+		result.Cache = ev.Cache.Stats()
+	}
 	return result, nil
 }

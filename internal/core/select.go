@@ -120,9 +120,16 @@ func pickExpr(opt Options, ev *prob.Evaluator, cond *ctable.Condition, pPhi floa
 
 	case UBS:
 		// UBS scores every available expression anyway, so the utilities
-		// fan out wholesale; the argmax scan below visits them in the
-		// same order as the sequential loop did.
-		gains := UtilitiesWith(ev, cond, avail, pPhi, opt.Workers)
+		// fan out wholesale over a component scan of the condition —
+		// each candidate re-solves only the component holding its
+		// variables, with the rest of the formula contributing the scan's
+		// precomputed (and usually cache-served) product. Under NoCache
+		// the legacy path re-solves the whole formula per candidate; the
+		// two paths agree within 1e-12 (they factor the same product in a
+		// different order), and the cache ablation measures their gap.
+		// The argmax scan below visits the scores in the same order as
+		// the sequential loop did.
+		gains := utilitiesFor(opt, ev, cond, avail, pPhi)
 		best, bestG := avail[0], -1.0
 		for i, e := range avail {
 			if gains[i] > bestG {
@@ -133,16 +140,23 @@ func pickExpr(opt Options, ev *prob.Evaluator, cond *ctable.Condition, pPhi floa
 
 	case HHS:
 		// Algorithm 4 lines 10-22: visit in frequency order, early-stop
-		// after m consecutive expressions without improvement. With more
+		// after m consecutive expressions without improvement, scoring
+		// through the same per-condition component scan as UBS. With more
 		// than one worker the utilities are precomputed speculatively —
 		// scores past the stop point are wasted work, never a changed
 		// decision, because the scan below applies the identical
 		// early-stop rule to identical values. One worker keeps the lazy
 		// sequential scan and today's exact work profile.
-		gain := func(i int) float64 { return UtilityWith(ev, cond, avail[i], pPhi) }
+		var gain func(i int) float64
 		if opt.Workers > 1 {
-			gains := UtilitiesWith(ev, cond, avail, pPhi, opt.Workers)
+			gains := utilitiesFor(opt, ev, cond, avail, pPhi)
 			gain = func(i int) float64 { return gains[i] }
+		} else if opt.NoCache {
+			gain = func(i int) float64 { return UtilityWith(ev, cond, avail[i], pPhi) }
+		} else {
+			scan := ev.NewCondScan(cond, pPhi)
+			scan.PlanSweeps(avail)
+			gain = func(i int) float64 { return UtilityScan(scan, avail[i]) }
 		}
 		best, bestG := avail[0], 0.0
 		c := 0
@@ -163,6 +177,18 @@ func pickExpr(opt Options, ev *prob.Evaluator, cond *ctable.Condition, pPhi floa
 	default:
 		panic("core: unknown strategy")
 	}
+}
+
+// utilitiesFor scores every candidate expression: through a component
+// scan of the condition by default (one small re-solve per candidate),
+// or through full-formula probes under the NoCache ablation (the legacy
+// cost profile the cache experiment compares against).
+func utilitiesFor(opt Options, ev *prob.Evaluator, cond *ctable.Condition, avail []ctable.Expr, pPhi float64) []float64 {
+	if opt.NoCache {
+		return UtilitiesWith(ev, cond, avail, pPhi, opt.Workers)
+	}
+	scan := ev.NewCondScan(cond, pPhi)
+	return UtilitiesScan(scan, avail, opt.Workers)
 }
 
 // availableExprs returns the condition's distinct expressions whose

@@ -1,0 +1,83 @@
+package ctable
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randExpr(rng *rand.Rand) Expr {
+	x := Var{Obj: rng.Intn(50), Attr: rng.Intn(8)}
+	switch rng.Intn(3) {
+	case 0:
+		return LTConst(x, rng.Intn(10))
+	case 1:
+		return GTConst(x, rng.Intn(10))
+	default:
+		return GTVar(x, Var{Obj: rng.Intn(50), Attr: rng.Intn(8)})
+	}
+}
+
+// TestAppendKeyInjective checks the fingerprint encoding's contract:
+// equal expressions encode equally, distinct expressions distinctly, and
+// the result is independent of the destination buffer's prior contents.
+func TestAppendKeyInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string]Expr{}
+	for i := 0; i < 5000; i++ {
+		e := randExpr(rng)
+		key := string(e.AppendKey(nil))
+		if prev, ok := seen[key]; ok && prev != e {
+			t.Fatalf("key collision: %v and %v both encode to %x", prev, e, key)
+		}
+		seen[key] = e
+
+		// Re-encoding is deterministic and append-only.
+		withPrefix := e.AppendKey([]byte("prefix"))
+		if !bytes.HasPrefix(withPrefix, []byte("prefix")) || string(withPrefix[6:]) != key {
+			t.Fatalf("AppendKey not append-only for %v", e)
+		}
+	}
+}
+
+// TestAppendKeySelfDelimiting concatenates encodings and checks the kind
+// byte fully determines each record's length, so sequences parse back
+// unambiguously.
+func TestAppendKeySelfDelimiting(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randExpr(rng), randExpr(rng)
+		ab := b.AppendKey(a.AppendKey(nil))
+		ba := a.AppendKey(b.AppendKey(nil))
+		if a != b && bytes.Equal(ab, ba) {
+			t.Fatalf("concatenation ambiguous for %v / %v", a, b)
+		}
+	}
+}
+
+// TestCompareIsTotalOrder checks Compare agrees with itself reversed and
+// that equality means equal expressions.
+func TestCompareIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5000; trial++ {
+		a, b := randExpr(rng), randExpr(rng)
+		ab, ba := a.Compare(b), b.Compare(a)
+		switch {
+		case ab == 0:
+			if a != b {
+				t.Fatalf("Compare says equal for distinct %v / %v", a, b)
+			}
+			if ba != 0 {
+				t.Fatalf("Compare asymmetric at equality: %v / %v", a, b)
+			}
+		case ab < 0:
+			if ba <= 0 {
+				t.Fatalf("Compare not antisymmetric: %v / %v", a, b)
+			}
+		default:
+			if ba >= 0 {
+				t.Fatalf("Compare not antisymmetric: %v / %v", a, b)
+			}
+		}
+	}
+}

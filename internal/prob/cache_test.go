@@ -1,0 +1,258 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bayescrowd/internal/ctable"
+)
+
+// randClauses builds a random CNF over nVars fresh variables, registering
+// their distributions in dists. Mirrors the solver stress generator.
+func randClauses(rng *rand.Rand, nVars int, dists Dists) [][]ctable.Expr {
+	vars := make([]ctable.Var, nVars)
+	for i := range vars {
+		vars[i] = v(1000+len(dists)+i, rng.Intn(2))
+		dists[vars[i]] = randomDist(rng, 2+rng.Intn(7))
+	}
+	var clauses [][]ctable.Expr
+	for c := 0; c < 3+rng.Intn(8); c++ {
+		var clause []ctable.Expr
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			x := vars[rng.Intn(nVars)]
+			switch rng.Intn(3) {
+			case 0:
+				clause = append(clause, ctable.LTConst(x, rng.Intn(len(dists[x])+1)))
+			case 1:
+				clause = append(clause, ctable.GTConst(x, rng.Intn(len(dists[x]))))
+			default:
+				y := vars[rng.Intn(nVars)]
+				if y != x {
+					clause = append(clause, ctable.GTVar(x, y))
+				} else {
+					clause = append(clause, ctable.GTConst(x, 0))
+				}
+			}
+		}
+		clauses = append(clauses, clause)
+	}
+	return clauses
+}
+
+// TestCacheBitIdentical checks the central design property: cached and
+// uncached evaluation return bit-identical probabilities, for Prob and for
+// the CondProbsWith probe quartet, because both modes solve branched
+// components in the same canonical order and the cache only replaces a
+// recomputation with a lookup.
+func TestCacheBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		dists := Dists{}
+		clauses := randClauses(rng, 6+rng.Intn(8), dists)
+		cond := ctable.FromClauses(clauses)
+
+		cached := &Evaluator{Dists: dists, Cache: NewComponentCache(0)}
+		plain := &Evaluator{Dists: dists, Opt: Options{NoCache: true}, Cache: cached.Cache}
+
+		// Evaluate through the cached evaluator twice — the second run
+		// serves branched components from the cache — and through the
+		// NoCache evaluator; all three must agree bit for bit.
+		p1 := cached.Prob(cond.Clone())
+		p2 := cached.Prob(cond.Clone())
+		p0 := plain.Prob(cond.Clone())
+		if p1 != p0 || p2 != p0 {
+			t.Fatalf("trial %d: Prob cached %v / rerun %v vs uncached %v", trial, p1, p2, p0)
+		}
+
+		for _, cl := range cond.Clauses {
+			for _, e := range cl {
+				ae, aPhi, aT, aF := cached.CondProbsWith(cond, e, p1)
+				be, bPhi, bT, bF := plain.CondProbsWith(cond, e, p0)
+				if ae != be || aPhi != bPhi || aT != bT || aF != bF {
+					t.Fatalf("trial %d: CondProbsWith(%v) cached (%v,%v,%v,%v) vs uncached (%v,%v,%v,%v)",
+						trial, e, ae, aPhi, aT, aF, be, bPhi, bT, bF)
+				}
+			}
+		}
+	}
+}
+
+// TestCondScanMatchesCondProbsWith checks that the component-scan probe
+// path agrees with the full-formula probe path within 1e-12 for every
+// expression of the condition, cache on and off. The conditionals pTrue
+// and pFalse are compared through the stable joints Pr(φ∧e) = pe·pTrue
+// and Pr(φ∧¬e) = (1−pe)·pFalse: when pe sits within an ulp of 0 or 1 the
+// corresponding ratio divides float noise by float noise, and both paths
+// return a legitimate-but-arbitrary clamp — the utility formulas multiply
+// the same weight straight back, so the joints are what must agree.
+func TestCondScanMatchesCondProbsWith(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		dists := Dists{}
+		clauses := randClauses(rng, 6+rng.Intn(8), dists)
+		cond := ctable.FromClauses(clauses)
+
+		for _, ev := range []*Evaluator{
+			{Dists: dists, Cache: NewComponentCache(0)},
+			{Dists: dists, Opt: Options{NoCache: true}},
+		} {
+			pPhi := ev.Prob(cond.Clone())
+			scan := ev.NewCondScan(cond, pPhi)
+			planned := ev.NewCondScan(cond, pPhi)
+			planned.PlanSweeps(cond.Exprs())
+			for _, cl := range cond.Clauses {
+				for _, e := range cl {
+					for _, cs := range []*CondScan{scan, planned} {
+						ae, aPhi, aT, aF := cs.CondProbs(e)
+						be, bPhi, bT, bF := ev.CondProbsWith(cond, e, pPhi)
+						drifts := []float64{
+							ae - be, aPhi - bPhi,
+							ae*aT - be*bT, (1-ae)*aF - (1-be)*bF,
+						}
+						for i, d := range drifts {
+							if math.Abs(d) > 1e-12 {
+								t.Fatalf("trial %d (NoCache=%v, planned=%v): scan vs full for %v: quantity %d drifts %v",
+									trial, ev.Opt.NoCache, cs == planned, e, i, d)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// twoComponentCondition builds a condition with exactly two branched
+// connected components (each has a variable occurring in two clauses, so
+// the direct independence rule cannot decide it and the solver must
+// branch — and therefore consult the cache).
+func twoComponentCondition() (*ctable.Condition, Dists, ctable.Var, ctable.Var) {
+	x1, y1 := v(0, 0), v(1, 0)
+	x2, y2 := v(2, 0), v(3, 0)
+	cond := ctable.FromClauses([][]ctable.Expr{
+		{ctable.GTConst(x1, 1)},
+		{ctable.GTVar(x1, y1)},
+		{ctable.GTConst(x2, 2)},
+		{ctable.GTVar(x2, y2)},
+	})
+	dists := Dists{x1: uniform(5), y1: uniform(5), x2: uniform(6), y2: uniform(6)}
+	return cond, dists, x1, x2
+}
+
+// TestInvalidatePrecision checks that Invalidate kills exactly the
+// components mentioning the bumped variable: after invalidating one of two
+// cached components, re-evaluation hits the untouched component and
+// recomputes only the stale one — with the correct value under the new
+// distribution.
+func TestInvalidatePrecision(t *testing.T) {
+	cond, dists, x1, _ := twoComponentCondition()
+	cache := NewComponentCache(0)
+	ev := &Evaluator{Dists: dists, Cache: cache}
+
+	ev.Prob(cond.Clone())
+	s := cache.Stats()
+	if s.Misses != 2 || s.Hits != 0 {
+		t.Fatalf("first evaluation: stats %+v, want 2 misses (one per branched component)", s)
+	}
+
+	ev.Prob(cond.Clone())
+	s = cache.Stats()
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("second evaluation: stats %+v, want 2 hits", s)
+	}
+
+	// A crowd answer narrows x1's interval: renormalise its distribution
+	// and invalidate. Only the x1 component may be recomputed.
+	dists[x1] = []float64{0, 0.25, 0.25, 0.25, 0.25}
+	cache.Invalidate(x1)
+
+	got := ev.Prob(cond.Clone())
+	s = cache.Stats()
+	if s.Hits != 3 || s.Misses != 3 {
+		t.Fatalf("post-invalidation evaluation: stats %+v, want exactly one new hit and one new miss", s)
+	}
+	if s.Invalidated != 1 {
+		t.Fatalf("Invalidated = %d, want 1", s.Invalidated)
+	}
+
+	fresh := NewEvaluator(dists)
+	if want := fresh.Prob(cond.Clone()); got != want {
+		t.Fatalf("post-invalidation Prob = %v, want %v (fresh evaluation)", got, want)
+	}
+
+	// The recomputed entry must be live again: one more evaluation is all
+	// hits.
+	ev.Prob(cond.Clone())
+	if s = cache.Stats(); s.Hits != 5 || s.Misses != 3 {
+		t.Fatalf("re-cached evaluation: stats %+v, want two new hits", s)
+	}
+}
+
+// TestStaleEntryServedNever checks the dangerous direction explicitly: a
+// lookup after Invalidate must not return the pre-invalidation value even
+// though the fingerprint is unchanged.
+func TestStaleEntryServedNever(t *testing.T) {
+	cond, dists, x1, x2 := twoComponentCondition()
+	cache := NewComponentCache(0)
+	ev := &Evaluator{Dists: dists, Cache: cache}
+
+	before := ev.Prob(cond.Clone())
+	dists[x1] = []float64{0, 0, 0, 0.5, 0.5}
+	dists[x2] = []float64{0, 0, 0, 0, 0.5, 0.5}
+	cache.Invalidate(x1, x2)
+	after := ev.Prob(cond.Clone())
+	if after == before {
+		t.Fatalf("Prob unchanged (%v) after renormalising both components", after)
+	}
+	if want := NewEvaluator(dists).Prob(cond.Clone()); after != want {
+		t.Fatalf("post-invalidation Prob = %v, want %v", after, want)
+	}
+}
+
+// TestCacheEviction checks the size bound: a capped cache never exceeds
+// its per-shard budget and reports evictions once distinct components
+// outnumber the cap.
+func TestCacheEviction(t *testing.T) {
+	cache := NewComponentCache(32)
+	dists := Dists{}
+	ev := &Evaluator{Dists: dists, Cache: cache}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		cond := ctable.FromClauses(randClauses(rng, 4, dists))
+		ev.Prob(cond)
+	}
+	if n := cache.Len(); n > 32 {
+		t.Fatalf("cache holds %d entries, cap 32", n)
+	}
+	if s := cache.Stats(); s.Evicted == 0 {
+		t.Fatalf("no evictions after 300 distinct conditions: %+v", s)
+	}
+}
+
+// TestCacheConcurrentProbAll exercises shared-cache lookups and stores
+// from a parallel fan-out (meaningful under -race) and checks the fanned
+// results match a sequential NoCache evaluation exactly.
+func TestCacheConcurrentProbAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	dists := Dists{}
+	conds := make([]*ctable.Condition, 60)
+	for i := range conds {
+		conds[i] = ctable.FromClauses(randClauses(rng, 5+rng.Intn(6), dists))
+	}
+	plain := &Evaluator{Dists: dists, Opt: Options{NoCache: true}}
+	want := plain.ProbAll(conds, 1)
+
+	cached := &Evaluator{Dists: dists, Cache: NewComponentCache(0)}
+	for round := 0; round < 3; round++ {
+		got := cached.ProbAll(conds, 8)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d cond %d: cached %v vs uncached %v", round, i, got[i], want[i])
+			}
+		}
+	}
+	if s := cached.Cache.Stats(); s.Hits == 0 {
+		t.Fatalf("no cache hits across repeated fan-outs: %+v", s)
+	}
+}

@@ -1,0 +1,97 @@
+package prob
+
+import (
+	"encoding/binary"
+	"slices"
+
+	"bayescrowd/internal/ctable"
+)
+
+// Component fingerprints. A connected clause component's probability is a
+// pure function of its expression structure and the distributions of its
+// variables, so it can be memoized under a canonical encoding: sort the
+// expressions of each clause, then the clauses themselves, by the stable
+// total order of ctable.Expr.Compare, and concatenate the stable binary
+// encodings (ctable.Expr.AppendKey) with a per-clause length prefix. The
+// sort runs in place, so after fingerprinting the component is in
+// canonical order and the solver branches on exactly the clause order the
+// key describes — the memoized value is a pure function of the key, bit
+// for bit, regardless of the clause order this particular occurrence
+// arrived in. Distribution changes are not part of the key; they are
+// tracked by the cache's per-variable epochs (ComponentCache.Invalidate).
+
+// realExpr reconstructs the caller-level expression of an interned one,
+// using the solver's reverse variable table.
+func (s *solver) realExpr(e cexpr) ctable.Expr {
+	if e.kind == ctable.VarGTVar {
+		return ctable.Expr{Kind: e.kind, X: s.vars[e.x], Y: s.vars[e.y]}
+	}
+	return ctable.Expr{Kind: e.kind, X: s.vars[e.x], C: int(e.c)}
+}
+
+func (s *solver) cmpExpr(a, b cexpr) int {
+	return s.realExpr(a).Compare(s.realExpr(b))
+}
+
+func (s *solver) cmpClause(a, b []cexpr) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := s.cmpExpr(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+// Key domain prefixes: scalar component-probability entries and joint
+// marginal sweep-vector entries live in disjoint key spaces, so the
+// two kinds can never alias even though sweep keys are a component key
+// plus a variable suffix.
+const (
+	scalarKeyPrefix = 'P'
+	sweepKeyPrefix  = 'S'
+)
+
+// fingerprint sorts the component into canonical order (in place — the
+// clause slices are either simplify's per-evaluation scratch or
+// newSolverGroups' fresh interned copies, never caller-owned conditions)
+// and returns its cache key under the given domain prefix. The key
+// aliases solver scratch: it is valid until the next fingerprint call and
+// must be copied to be retained (ComponentCache does so on store).
+func (s *solver) fingerprint(comp [][]cexpr, prefix byte) []byte {
+	for _, cl := range comp {
+		slices.SortFunc(cl, s.cmpExpr)
+	}
+	slices.SortFunc(comp, s.cmpClause)
+	key := append(s.keyBuf[:0], prefix)
+	for _, cl := range comp {
+		key = binary.AppendUvarint(key, uint64(len(cl)))
+		for _, e := range cl {
+			key = s.realExpr(e).AppendKey(key)
+		}
+	}
+	s.keyBuf = key
+	return key
+}
+
+// componentVars returns the distinct variables of the component, in
+// scratch reused across calls (ComponentCache.store copies).
+func (s *solver) componentVars(comp [][]cexpr) []ctable.Var {
+	s.epoch++
+	out := s.varsBuf[:0]
+	visit := func(id int32) {
+		if s.seenEp[id] != s.epoch {
+			s.seenEp[id] = s.epoch
+			out = append(out, s.vars[id])
+		}
+	}
+	for _, cl := range comp {
+		for _, e := range cl {
+			visit(e.x)
+			if e.y >= 0 {
+				visit(e.y)
+			}
+		}
+	}
+	s.varsBuf = out
+	return out
+}

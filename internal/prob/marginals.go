@@ -1,0 +1,270 @@
+package prob
+
+import "bayescrowd/internal/ctable"
+
+// All-variable marginal sweeps. The UBS/HHS candidate scan needs, for a
+// connected component and every variable x it holds, the joint vector
+//
+//	m_x[a] = Pr(component ∧ x=a)
+//
+// because each constant-comparison candidate on x is then a partial sum
+// of m_x — no model counting per candidate at all. Computing the vectors
+// one variable at a time would cost a full solve per variable; this file
+// computes all of them in a single ADPLL pass instead, by propagating
+// per-variable vectors up the same recursion adpll runs: branch nodes mix
+// child vectors weighted by the branch distribution, decomposition nodes
+// scale each component's vectors by the product of its siblings' values,
+// and direct-rule leaves (every variable occurring exactly once) yield
+// their vectors in closed form. The pass visits exactly the subproblems
+// adpll would and performs the same value arithmetic in the same order,
+// so its scalar result is bit-identical to the plain solve; the vector
+// bookkeeping rides along at a small constant factor.
+//
+// Only variables with s.margNeed set get vectors — the scan planner marks
+// the variables that actually carry candidates, so var-vs-var-only
+// variables don't pay for bookkeeping.
+
+// marginalSet maps interned variable ids to their joint vectors over the
+// subformula the set was computed for. A needed variable absent from the
+// set was eliminated by simplification before any branch constrained it:
+// its joint is the independent product value·p(a), filled in by the
+// caller (branch merge or scan planner).
+type marginalSet map[int32][]float64
+
+// allMarginals returns Pr(clauses) under the current assignment together
+// with the joint vectors of every needed free variable. The scalar result
+// mirrors adpll's recursion step for step.
+func (s *solver) allMarginals(clauses [][]cexpr) (float64, marginalSet) {
+	residual, value, decided := s.simplify(clauses)
+	if decided {
+		if value {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if p, ok := s.directProb(residual); ok {
+		return p, s.leafMarginals(residual)
+	}
+	if s.opt.NoComponents {
+		return s.branchMarginals(residual, s.pickVar(residual))
+	}
+
+	comps := s.components(residual)
+	if len(comps) == 1 {
+		return s.branchMarginals(residual, s.pickVar(residual))
+	}
+	// Mirror adpll's decomposition loop, including the early return that
+	// skips the remaining components once the product hits zero (their
+	// vectors would all be zero anyway — the nil set says exactly that).
+	p := 1.0
+	vals := make([]float64, len(comps))
+	sets := make([]marginalSet, len(comps))
+	for i, comp := range comps {
+		if direct, ok := s.directProb(comp); ok {
+			vals[i], sets[i] = direct, s.leafMarginals(comp)
+			p *= direct
+			continue
+		}
+		vals[i], sets[i] = s.branchMarginals(comp, s.pickVar(comp))
+		p *= vals[i]
+		if p == 0 {
+			return 0, nil
+		}
+	}
+	// Each component's vectors are scaled by the product of the sibling
+	// values (prefix × suffix, no division, zero-safe).
+	suf := 1.0
+	sufs := make([]float64, len(comps))
+	for i := len(comps) - 1; i >= 0; i-- {
+		sufs[i] = suf
+		suf *= vals[i]
+	}
+	out := marginalSet{}
+	pre := 1.0
+	for i, set := range sets {
+		outer := pre * sufs[i]
+		for x, vec := range set {
+			for b := range vec {
+				vec[b] *= outer
+			}
+			out[x] = vec
+		}
+		pre *= vals[i]
+	}
+	return p, out
+}
+
+// branchMarginals enumerates the branch variable's values like branch,
+// mixing the children's vectors weighted by the branch distribution. A
+// needed variable a child eliminated before branching on it contributes
+// its independent product instead.
+func (s *solver) branchMarginals(clauses [][]cexpr, v int32) (float64, marginalSet) {
+	// Collect the needed free variables up front: children report vectors
+	// for the variables they still see, and the merge must fill defaults
+	// for the ones simplification removed — which requires knowing the
+	// full set before descending (the epoch marks below are clobbered by
+	// the recursion).
+	s.epoch++
+	var need []int32
+	note := func(x int32) {
+		if x != v && s.margNeed[x] && s.seenEp[x] != s.epoch {
+			s.seenEp[x] = s.epoch
+			need = append(need, x)
+		}
+	}
+	for _, cl := range clauses {
+		for _, e := range cl {
+			note(e.x)
+			if e.y >= 0 {
+				note(e.y)
+			}
+		}
+	}
+
+	dv := s.dists[v]
+	var mv []float64
+	if s.margNeed[v] {
+		mv = make([]float64, len(dv))
+	}
+	out := marginalSet{}
+	total := 0.0
+	for a, pa := range dv {
+		if pa == 0 {
+			continue
+		}
+		s.assign[v] = int32(a)
+		cv, cm := s.allMarginals(clauses)
+		total += pa * cv
+		if mv != nil {
+			mv[a] = pa * cv
+		}
+		for _, x := range need {
+			vec := out[x]
+			if vec == nil {
+				vec = make([]float64, len(s.dists[x]))
+				out[x] = vec
+			}
+			if cvec, ok := cm[x]; ok {
+				for b, w := range cvec {
+					vec[b] += pa * w
+				}
+			} else if cv != 0 {
+				for b, pb := range s.dists[x] {
+					vec[b] += pa * cv * pb
+				}
+			}
+		}
+	}
+	s.assign[v] = -1
+	if mv != nil {
+		out[v] = mv
+	}
+	return total, out
+}
+
+// leafMarginals yields the joint vectors of a direct-rule clause set —
+// pairwise variable-disjoint clauses, every variable occurring exactly
+// once — in closed form: fixing x=a resolves x's literal (for a var-vs-var
+// literal, to the conditional CDF of the other side), the rest of its
+// clause keeps the exclusion product of the other literals, and the other
+// clauses contribute their unconditioned probabilities via a prefix ×
+// suffix outer product.
+func (s *solver) leafMarginals(clauses [][]cexpr) marginalSet {
+	n := len(clauses)
+	ps := make([]float64, n)
+	anyNeed := false
+	for i, cl := range clauses {
+		q := 1.0
+		for _, e := range cl {
+			q *= 1 - s.exprProb(e)
+			anyNeed = anyNeed || s.margNeed[e.x] || (e.y >= 0 && s.margNeed[e.y])
+		}
+		ps[i] = 1 - q
+	}
+	if !anyNeed {
+		return nil
+	}
+	sufs := make([]float64, n+1)
+	sufs[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		sufs[i] = sufs[i+1] * ps[i]
+	}
+
+	out := marginalSet{}
+	pre := 1.0
+	var qc []float64 // per-literal complement probabilities, reused
+	for i, cl := range clauses {
+		outer := pre * sufs[i+1]
+		pre *= ps[i]
+
+		qc = qc[:0]
+		for _, e := range cl {
+			qc = append(qc, 1-s.exprProb(e))
+		}
+		// qx(k): exclusion product over the clause's other literals.
+		qx := func(k int) float64 {
+			q := 1.0
+			for j, v := range qc {
+				if j != k {
+					q *= v
+				}
+			}
+			return q
+		}
+		for k, e := range cl {
+			if s.margNeed[e.x] {
+				dx := s.dists[e.x]
+				vec := make([]float64, len(dx))
+				q := qx(k)
+				switch {
+				case e.y < 0:
+					for b, pb := range dx {
+						if constLitSat(e, b) {
+							vec[b] = outer * pb
+						} else {
+							vec[b] = outer * pb * (1 - q)
+						}
+					}
+				default:
+					// x > y, conditioned on x=b: the literal holds with
+					// probability Pr(y < b), the running CDF of y.
+					dy := s.dists[e.y]
+					cdf := 0.0
+					for b, pb := range dx {
+						if b-1 >= 0 && b-1 < len(dy) {
+							cdf += dy[b-1]
+						}
+						vec[b] = outer * pb * (1 - (1-cdf)*q)
+					}
+				}
+				out[e.x] = vec
+			}
+			if e.y >= 0 && s.margNeed[e.y] {
+				// x > y, conditioned on y=c: the literal holds with
+				// probability Pr(x > c), the tail mass of x above c.
+				dx := s.dists[e.x]
+				dy := s.dists[e.y]
+				vec := make([]float64, len(dy))
+				q := qx(k)
+				tail := 1.0
+				for c, pc := range dy {
+					if c < len(dx) {
+						tail -= dx[c]
+					}
+					vec[c] = outer * pc * (1 - (1-tail)*q)
+				}
+				out[e.y] = vec
+			}
+		}
+	}
+	return out
+}
+
+// constLitSat reports whether a constant-comparison literal holds at
+// value b of its variable.
+func constLitSat(e cexpr, b int) bool {
+	if e.kind == ctable.VarLTConst {
+		return int32(b) < e.c
+	}
+	return int32(b) > e.c
+}

@@ -52,6 +52,13 @@ type Options struct {
 	// BranchFirstVar branches on the first variable encountered instead
 	// of the most frequent one. Used by the ablation benchmark.
 	BranchFirstVar bool
+	// NoCache disables the component memoization cache even when
+	// Evaluator.Cache is set. Used by the cache ablation benchmark.
+	// Cached and uncached evaluation are bit-identical — both solve
+	// branched components in the same canonical order; the cache only
+	// decides whether a component's probability is looked up or
+	// recomputed.
+	NoCache bool
 }
 
 // Evaluator computes condition probabilities against a fixed set of
@@ -65,10 +72,19 @@ type Options struct {
 // answers renormalise distributions strictly between parallel fan-outs,
 // and the pool join inside ProbAll / parallel.For publishes those writes
 // to the workers of the next fan-out (a happens-before edge). Callers
-// adding their own concurrency must preserve that discipline.
+// adding their own concurrency must preserve that discipline. The
+// component cache follows the same contract: lookups and stores are safe
+// during fan-outs, ComponentCache.Invalidate belongs in the single-writer
+// gaps, right next to the distribution writes it tracks.
 type Evaluator struct {
 	Dists Dists
 	Opt   Options
+	// Cache, when non-nil, memoizes connected-component probabilities
+	// across evaluations (see ComponentCache). Whoever mutates Dists must
+	// call Cache.Invalidate for every renormalised variable, or cached
+	// components will serve probabilities computed under the old
+	// distribution.
+	Cache *ComponentCache
 }
 
 // NewEvaluator returns an evaluator over the given distributions with
@@ -98,10 +114,14 @@ func (ev *Evaluator) ExprProb(e ctable.Expr) float64 {
 	case ctable.VarGTConst:
 		d := ev.dist(e.X)
 		p := 0.0
-		for v := e.C + 1; v < len(d); v++ {
-			if v >= 0 {
-				p += d[v]
-			}
+		// Hoist the v >= 0 clamp out of the loop: a negative constant
+		// just starts the scan at 0.
+		start := e.C + 1
+		if start < 0 {
+			start = 0
+		}
+		for v := start; v < len(d); v++ {
+			p += d[v]
 		}
 		return p
 	case ctable.VarGTVar:
@@ -132,12 +152,36 @@ func (ev *Evaluator) Prob(c *ctable.Condition) float64 {
 	return ev.probClauses(c.Clauses)
 }
 
-// probClauses runs ADPLL over a raw clause set.
+// probClauses runs ADPLL over a raw clause set, memoizing connected
+// components when the evaluator carries a cache.
 func (ev *Evaluator) probClauses(clauses [][]ctable.Expr) float64 {
 	s, interned := newSolver(ev, clauses)
-	p := s.adpll(interned)
+	p := s.adpllTop(interned, ev.activeCache())
 	s.release()
 	return p
+}
+
+// probGroups returns the probability of the conjunction of several clause
+// groups plus an optional augmenting unit clause [*unit], without ever
+// materialising a combined clause buffer (the unit clause lives in solver
+// scratch). It is the engine behind CondProbsWith and the CondScan's
+// partial re-solves.
+func (ev *Evaluator) probGroups(groups [][][]ctable.Expr, unit *ctable.Expr) float64 {
+	s, interned := newSolverGroups(ev, groups, unit)
+	p := s.adpllTop(interned, ev.activeCache())
+	s.release()
+	return p
+}
+
+// activeCache returns the cache adpllTop should consult: nil when caching
+// is switched off (Options.NoCache) or structurally meaningless
+// (Options.NoComponents — without component decomposition there is
+// nothing to memoize).
+func (ev *Evaluator) activeCache() *ComponentCache {
+	if ev.Opt.NoCache || ev.Opt.NoComponents {
+		return nil
+	}
+	return ev.Cache
 }
 
 // ProbAll computes Pr(φ) for every condition, fanning the independent
@@ -269,8 +313,9 @@ func (ev *Evaluator) CondProbsWith(c *ctable.Condition, e ctable.Expr, pPhiKnown
 	pe = ev.ExprProb(e)
 	pPhi = pPhiKnown
 
-	augmented := append(append([][]ctable.Expr(nil), c.Clauses...), []ctable.Expr{e})
-	pBoth := ev.probClauses(augmented)
+	// The unit clause rides in solver scratch (newSolverGroups), so no
+	// augmented clause buffer is allocated per probe.
+	pBoth := ev.probGroups([][][]ctable.Expr{c.Clauses}, &e)
 
 	if pe > 0 {
 		pTrue = clampProb(pBoth / pe)

@@ -22,7 +22,8 @@ type cexpr struct {
 type solver struct {
 	opt   Options
 	ids   map[ctable.Var]int32
-	dists [][]float64 // per var id
+	dists [][]float64  // per var id
+	vars  []ctable.Var // per var id: the real variable, for fingerprints
 	// assign[v] is the branched value of var v, or -1.
 	assign []int32
 	// Scratch epochs avoid clearing per-var arrays on every recursion.
@@ -31,6 +32,16 @@ type solver struct {
 	counts  []int
 	ownerEp []int // components bookkeeping
 	owner   []int
+	// unitCl backs the augmenting unit clause of Pr(φ∧e) runs, so the
+	// UBS/HHS inner loop never materialises an augmented clause buffer.
+	unitCl [1]cexpr
+	// keyBuf and varsBuf are fingerprint scratch, reused across the
+	// components of one evaluation.
+	keyBuf  []byte
+	varsBuf []ctable.Var
+	// margNeed marks the variables the all-marginals pass must report
+	// vectors for (set by the scan planner, false everywhere otherwise).
+	margNeed []bool
 }
 
 // solverPool recycles solver scratch across evaluations. sync.Pool is
@@ -45,36 +56,68 @@ var solverPool = sync.Pool{
 // set and captures their distributions. Callers return the solver with
 // release once the evaluation is done.
 func newSolver(ev *Evaluator, clauses [][]ctable.Expr) (*solver, [][]cexpr) {
+	return newSolverGroups(ev, [][][]ctable.Expr{clauses}, nil)
+}
+
+// newSolverGroups is newSolver over several clause groups plus an
+// optional augmenting unit clause [*unit]. The groups are interned as one
+// conjunction without materialising a combined condition — the unit
+// clause lives in solver scratch — so Pr(φ∧e) runs (the UBS/HHS inner
+// loop) and the component-scan's partial re-solves allocate no augmented
+// clause buffer per candidate.
+func newSolverGroups(ev *Evaluator, groups [][][]ctable.Expr, unit *ctable.Expr) (*solver, [][]cexpr) {
 	s := solverPool.Get().(*solver)
 	s.opt = ev.Opt
 	s.dists = s.dists[:0]
+	s.vars = s.vars[:0]
 	clear(s.ids)
-	intern := func(v ctable.Var) int32 {
-		if id, ok := s.ids[v]; ok {
-			return id
-		}
-		id := int32(len(s.dists))
-		s.ids[v] = id
-		s.dists = append(s.dists, ev.dist(v))
-		return id
+	n := 0
+	for _, g := range groups {
+		n += len(g)
 	}
-	out := make([][]cexpr, len(clauses))
-	for i, cl := range clauses {
-		ce := make([]cexpr, len(cl))
-		for k, e := range cl {
-			switch e.Kind {
-			case ctable.VarLTConst, ctable.VarGTConst:
-				ce[k] = cexpr{kind: e.Kind, x: intern(e.X), y: -1, c: int32(e.C)}
-			case ctable.VarGTVar:
-				ce[k] = cexpr{kind: e.Kind, x: intern(e.X), y: intern(e.Y)}
-			default:
-				panic(fmt.Sprintf("prob: unknown expression kind %d", e.Kind))
+	if unit != nil {
+		n++
+	}
+	out := make([][]cexpr, 0, n)
+	for _, g := range groups {
+		for _, cl := range g {
+			ce := make([]cexpr, len(cl))
+			for k, e := range cl {
+				ce[k] = s.intern(ev, e)
 			}
+			out = append(out, ce)
 		}
-		out[i] = ce
+	}
+	if unit != nil {
+		s.unitCl[0] = s.intern(ev, *unit)
+		out = append(out, s.unitCl[:])
 	}
 	s.grow(len(s.dists))
 	return s, out
+}
+
+// intern converts an expression to its dense form, assigning variable ids
+// on first sight.
+func (s *solver) intern(ev *Evaluator, e ctable.Expr) cexpr {
+	switch e.Kind {
+	case ctable.VarLTConst, ctable.VarGTConst:
+		return cexpr{kind: e.Kind, x: s.internVar(ev, e.X), y: -1, c: int32(e.C)}
+	case ctable.VarGTVar:
+		return cexpr{kind: e.Kind, x: s.internVar(ev, e.X), y: s.internVar(ev, e.Y)}
+	default:
+		panic(fmt.Sprintf("prob: unknown expression kind %d", e.Kind))
+	}
+}
+
+func (s *solver) internVar(ev *Evaluator, v ctable.Var) int32 {
+	if id, ok := s.ids[v]; ok {
+		return id
+	}
+	id := int32(len(s.dists))
+	s.ids[v] = id
+	s.dists = append(s.dists, ev.dist(v))
+	s.vars = append(s.vars, v)
+	return id
 }
 
 // grow sizes the per-variable scratch for n interned variables. The epoch
@@ -89,15 +132,18 @@ func (s *solver) grow(n int) {
 		s.counts = make([]int, n)
 		s.ownerEp = make([]int, n)
 		s.owner = make([]int, n)
+		s.margNeed = make([]bool, n)
 	} else {
 		s.assign = s.assign[:n]
 		s.seenEp = s.seenEp[:n]
 		s.counts = s.counts[:n]
 		s.ownerEp = s.ownerEp[:n]
 		s.owner = s.owner[:n]
+		s.margNeed = s.margNeed[:n]
 	}
 	for i := range s.assign {
 		s.assign[i] = -1
+		s.margNeed[i] = false
 	}
 }
 
@@ -123,10 +169,15 @@ func (s *solver) exprProb(e cexpr) float64 {
 		return p
 	case ctable.VarGTConst:
 		p := 0.0
-		for v := int(e.c) + 1; v < len(dx); v++ {
-			if v >= 0 {
-				p += dx[v]
-			}
+		// Hoist the v >= 0 clamp out of the loop: negative constants
+		// (possible only for never-built degenerate expressions) just
+		// start the scan at 0.
+		start := int(e.c) + 1
+		if start < 0 {
+			start = 0
+		}
+		for v := start; v < len(dx); v++ {
+			p += dx[v]
 		}
 		return p
 	default: // VarGTVar
@@ -200,6 +251,60 @@ func (s *solver) simplify(clauses [][]cexpr) (out [][]cexpr, value, decided bool
 		return nil, true, true
 	}
 	return out, false, false
+}
+
+// adpllTop is the ADPLL entry point: the same mathematics as adpll, but
+// connected components are solved in a canonical clause order and, when
+// cache is non-nil, memoized under their canonical fingerprint. A nil
+// cache keeps the canonical order and skips only the memoization — the
+// single difference between cached and uncached evaluation is whether a
+// component's probability is looked up or recomputed, never the
+// arithmetic order, which is what makes the two modes bit-identical.
+func (s *solver) adpllTop(clauses [][]cexpr, cache *ComponentCache) float64 {
+	residual, value, decided := s.simplify(clauses)
+	if decided {
+		if value {
+			return 1
+		}
+		return 0
+	}
+	if p, ok := s.directProb(residual); ok {
+		return p
+	}
+	if s.opt.NoComponents {
+		return s.branch(residual, s.pickVar(residual))
+	}
+	comps := s.components(residual)
+	p := 1.0
+	for _, comp := range comps {
+		p *= s.componentProb(comp, cache)
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// componentProb returns Pr(comp) for one connected component, consulting
+// the cache for components that would need branching. Components decided
+// by the direct independence rule are recomputed every time: they cost as
+// little as fingerprinting them would, and caching them would crowd out
+// entries that save real branching work.
+func (s *solver) componentProb(comp [][]cexpr, cache *ComponentCache) float64 {
+	if p, ok := s.directProb(comp); ok {
+		return p
+	}
+	key := s.fingerprint(comp, scalarKeyPrefix)
+	if cache != nil {
+		if p, ok := cache.lookup(key); ok {
+			return p
+		}
+	}
+	p := s.branch(comp, s.pickVar(comp))
+	if cache != nil {
+		cache.store(key, s.componentVars(comp), p)
+	}
+	return p
 }
 
 // adpll is Algorithm 3 over interned clauses.
