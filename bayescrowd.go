@@ -155,7 +155,10 @@ type Result = core.Result
 type CacheStats = prob.CacheStats
 
 // Platform is the crowdsourcing marketplace interface: one Post call is
-// one latency round.
+// one latency round. The contract is fallible — Post may deliver a
+// partial answer set (dropped tasks) and/or a round-level error (an
+// outage); the framework re-queues, retries with backoff, and degrades
+// gracefully (see Options.MaxRetries and Result.Degraded).
 type Platform = crowd.Platform
 
 // Task is one crowd micro-question (a triple-choice comparison).
@@ -227,6 +230,30 @@ type Autoencoder = dae.Model
 func TrainAutoencoder(d *Dataset) (*Autoencoder, error) {
 	return dae.Train(d, dae.Options{})
 }
+
+// UnreliableCrowd wraps any Platform with seeded, deterministic fault
+// injection — task drops, round outages, spammer answers — the failure
+// modes of a live marketplace. The framework's retry/backoff, re-queue
+// and degradation machinery (Options.MaxRetries, Options.ReaskConflicts,
+// Result.Degraded) is exercised against it.
+type UnreliableCrowd = crowd.Unreliable
+
+// NewUnreliableCrowd wraps inner: each answer is dropped with dropProb,
+// each round fails outright with outageProb, and each surviving answer is
+// replaced by a random relation with spamProb. rng is required when any
+// probability is positive; a fixed seed reproduces the exact fault
+// schedule.
+func NewUnreliableCrowd(inner Platform, dropProb, outageProb, spamProb float64, rng *rand.Rand) *UnreliableCrowd {
+	return crowd.NewUnreliable(inner, dropProb, outageProb, spamProb, rng)
+}
+
+// ErrOutage is the round-level error an UnreliableCrowd returns when the
+// whole platform is down for a round.
+var ErrOutage = crowd.ErrOutage
+
+// CrowdStats is the per-platform ledger of posted tasks, delivered
+// answers, and round outcomes (full, partial, failed).
+type CrowdStats = crowd.Stats
 
 // WorkerPool is a Platform over a heterogeneous worker population with
 // per-worker accuracies and an AMT-style recruitment threshold

@@ -46,6 +46,13 @@ func main() {
 		workers     = flag.Int("workers", 0, "goroutines for the parallel phases; 0 = one per CPU, 1 = sequential (results are identical either way)")
 		nocache     = flag.Bool("nocache", false, "disable the component probability cache (results are identical either way)")
 		cacheSize   = flag.Int("cachesize", 0, "max memoized components; 0 = default bound")
+		dropProb    = flag.Float64("dropprob", 0, "fault injection: per-task probability the answer is dropped")
+		outageProb  = flag.Float64("outageprob", 0, "fault injection: per-round probability the platform fails outright")
+		spamProb    = flag.Float64("spamprob", 0, "fault injection: per-task probability the answer is replaced by a random relation")
+		maxRetries  = flag.Int("maxretries", 3, "retries per failed round (capped exponential backoff) before degrading")
+		backoff     = flag.Duration("backoff", 0, "base retry backoff delay (doubles per attempt, capped at 32x); 0 retries immediately")
+		reask       = flag.Int("reask", 0, "re-post a conflicting task this many times and absorb the majority; 0 discards conflicts")
+		chargePost  = flag.Bool("chargeonpost", false, "charge the budget on posting instead of on answer arrival")
 		seed        = flag.Int64("seed", 1, "random seed")
 		verbose     = flag.Bool("v", false, "print per-round progress")
 	)
@@ -73,6 +80,10 @@ func main() {
 		}
 		platform = bayescrowd.NewSimulatedCrowd(truth, *accuracy, rand.New(rand.NewSource(*seed)))
 	}
+	if *dropProb > 0 || *outageProb > 0 || *spamProb > 0 {
+		platform = bayescrowd.NewUnreliableCrowd(platform, *dropProb, *outageProb, *spamProb,
+			rand.New(rand.NewSource(*seed+2)))
+	}
 
 	var strat bayescrowd.Strategy
 	switch strings.ToUpper(*strategy) {
@@ -87,15 +98,19 @@ func main() {
 	}
 
 	opts := bayescrowd.Options{
-		Alpha:     *alpha,
-		Budget:    *budget,
-		Latency:   *latency,
-		Strategy:  strat,
-		M:         *m,
-		Workers:   *workers,
-		NoCache:   *nocache,
-		CacheSize: *cacheSize,
-		Rng:       rand.New(rand.NewSource(*seed + 1)),
+		Alpha:          *alpha,
+		Budget:         *budget,
+		Latency:        *latency,
+		Strategy:       strat,
+		M:              *m,
+		Workers:        *workers,
+		NoCache:        *nocache,
+		CacheSize:      *cacheSize,
+		MaxRetries:     *maxRetries,
+		RetryBackoff:   *backoff,
+		ReaskConflicts: *reask,
+		ChargeOnPost:   *chargePost,
+		Rng:            rand.New(rand.NewSource(*seed + 1)),
 	}
 	if *netPath != "" {
 		f, err := os.Open(*netPath)
@@ -119,7 +134,16 @@ func main() {
 		fail("%v", err)
 	}
 
-	fmt.Printf("posted %d tasks in %d rounds\n\n", res.TasksPosted, res.Rounds)
+	fmt.Printf("posted %d tasks in %d rounds (%d budget units spent)\n", res.TasksPosted, res.Rounds, res.BudgetSpent)
+	if res.TasksDropped > 0 || res.FailedRounds > 0 || res.ConflictingAnswers > 0 || res.TasksReasked > 0 {
+		fmt.Printf("robustness: %d dropped, %d re-queued, %d round failures (%d retried, %v backoff), %d conflicts (%d re-asked copies, %d resolved)\n",
+			res.TasksDropped, res.TasksRequeued, res.FailedRounds, res.RoundRetries, res.BackoffTime,
+			res.ConflictingAnswers, res.TasksReasked, res.ConflictsResolved)
+	}
+	if res.Degraded {
+		fmt.Printf("WARNING: degraded result — %s\n", res.DegradedReason)
+	}
+	fmt.Println()
 	fmt.Println("skyline answers:")
 	for _, i := range res.Answers {
 		conf := "certain"
@@ -174,15 +198,16 @@ type terminalCrowd struct {
 	data *bayescrowd.Dataset
 }
 
-func (t *terminalCrowd) Post(tasks []bayescrowd.Task) []bayescrowd.Answer {
+func (t *terminalCrowd) Post(tasks []bayescrowd.Task) ([]bayescrowd.Answer, error) {
 	answers := make([]bayescrowd.Answer, 0, len(tasks))
 	for _, task := range tasks {
-		fmt.Printf("%v  [</=/>] ", task)
+		fmt.Printf("%v  [</=/>/skip] ", task)
 		for {
 			if !t.in.Scan() {
-				fmt.Println("\n(no input; treating as =)")
-				answers = append(answers, bayescrowd.Answer{Task: task, Rel: bayescrowd.EqualTo})
-				break
+				// Closed stdin is a round-level failure: hand back whatever
+				// was answered so far and let the framework degrade.
+				fmt.Println()
+				return answers, fmt.Errorf("stdin closed with %d tasks unanswered", len(tasks)-len(answers))
 			}
 			switch strings.TrimSpace(t.in.Text()) {
 			case "<":
@@ -191,12 +216,15 @@ func (t *terminalCrowd) Post(tasks []bayescrowd.Task) []bayescrowd.Answer {
 				answers = append(answers, bayescrowd.Answer{Task: task, Rel: bayescrowd.EqualTo})
 			case ">":
 				answers = append(answers, bayescrowd.Answer{Task: task, Rel: bayescrowd.LargerThan})
+			case "skip", "s":
+				// The operator declines the task — a deliberate drop; the
+				// framework re-queues it.
 			default:
-				fmt.Print("please answer <, = or >: ")
+				fmt.Print("please answer <, = or > (or skip): ")
 				continue
 			}
 			break
 		}
 	}
-	return answers
+	return answers, nil
 }

@@ -24,6 +24,7 @@ var Descriptions = map[string]string{
 	"motivation":    "machine-only ISkyline vs inference-only vs budgeted BayesCrowd",
 	"workers":       "parallel scaling: c-table build and Pr(phi) fan-out vs worker count",
 	"cache":         "component-memoization ablation: crowdsourcing phase with the Pr(phi) cache on vs off",
+	"faults":        "fault tolerance: monetary cost and round inflation vs answer-drop rate, three strategies",
 }
 
 // Experiments maps experiment ids (as accepted by cmd/benchfig) to their
@@ -45,6 +46,7 @@ var Experiments = map[string]func(Scale) []*Table{
 	"motivation":    Motivation,
 	"workers":       WorkersScaling,
 	"cache":         CacheExperiment,
+	"faults":        FaultsExperiment,
 }
 
 // Names returns the experiment ids in stable presentation order.
@@ -53,7 +55,7 @@ func Names() []string {
 		"fig2": 0, "fig3": 1, "fig3-ablation": 2, "fig4": 3, "fig5": 4,
 		"fig6": 5, "fig7": 6, "fig8": 7, "fig9": 8, "fig10": 9,
 		"fig11": 10, "table6": 11, "ablation": 12, "motivation": 13,
-		"workers": 14, "cache": 15,
+		"workers": 14, "cache": 15, "faults": 16,
 	}
 	names := make([]string, 0, len(Experiments))
 	for n := range Experiments {

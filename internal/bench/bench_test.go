@@ -64,7 +64,7 @@ func TestNamesCoverAllExperiments(t *testing.T) {
 	if len(names) != len(Experiments) {
 		t.Fatalf("Names() returned %d ids, registry has %d", len(names), len(Experiments))
 	}
-	if names[0] != "fig2" || names[len(names)-1] != "cache" {
+	if names[0] != "fig2" || names[len(names)-1] != "faults" {
 		t.Fatalf("unexpected presentation order: %v", names)
 	}
 }
@@ -100,8 +100,12 @@ func TestScalesAreComplete(t *testing.T) {
 			t.Errorf("%s: bad sizes/reps", s.Name)
 		}
 		if len(s.MissingRates) == 0 || len(s.NBACardinalities) == 0 ||
-			len(s.SynCardinalities) == 0 || len(s.NBABudgets) == 0 || len(s.SynBudgets) == 0 {
+			len(s.SynCardinalities) == 0 || len(s.NBABudgets) == 0 || len(s.SynBudgets) == 0 ||
+			len(s.DropRates) == 0 {
 			t.Errorf("%s: empty sweep", s.Name)
+		}
+		if s.DropRates[0] != 0 {
+			t.Errorf("%s: DropRates must start with the fault-free baseline", s.Name)
 		}
 		if s.NaiveCap <= 0 || s.AMTAccuracy <= 0 || s.AMTAccuracy > 1 {
 			t.Errorf("%s: bad caps", s.Name)

@@ -68,6 +68,11 @@ type Scale struct {
 	// always measures both modes.
 	NoCache bool
 
+	// DropRates is the per-task answer-drop sweep of the "faults"
+	// experiment; 0 is the fault-free baseline the inflation columns are
+	// relative to.
+	DropRates []float64
+
 	Seed int64
 }
 
@@ -97,6 +102,7 @@ func Paper() Scale {
 		AMTAccuracy:      0.95,
 		Reps:             1,
 		WorkerCounts:     []int{1, 2, 4, 8},
+		DropRates:        []float64{0, 0.1, 0.2, 0.3},
 		Seed:             1,
 	}
 }
@@ -126,6 +132,7 @@ func Quick() Scale {
 		AMTAccuracy:      0.95,
 		Reps:             3,
 		WorkerCounts:     []int{1, 2, 4},
+		DropRates:        []float64{0, 0.1, 0.2, 0.3},
 		Seed:             1,
 	}
 }

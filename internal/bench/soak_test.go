@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"bayescrowd/internal/core"
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/metrics"
+)
+
+// TestFaultInjectionSoak is the nightly fault-injection soak: the full
+// pipeline on the NBA configuration under heavy injected faults (20% of
+// answers dropped, 10% of rounds failing outright), with fixed seeds.
+// It asserts the robustness guarantees end to end: termination within
+// the latency bound, no error and no panic (the nightly job runs it
+// under -race), an exact charge-on-answer ledger, and an F-score floor
+// relative to the fault-free baseline — faults may cost rounds, they
+// must not collapse accuracy.
+func TestFaultInjectionSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault soak skipped in -short mode")
+	}
+	const (
+		dropProb   = 0.2
+		outageProb = 0.1
+		f1Floor    = 0.25 // absolute slack vs the fault-free baseline
+	)
+	s := Quick()
+	e := nbaEnv(s, s.NBASize, s.MissingRate)
+	dists := e.dists()
+
+	for _, strat := range strategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			run := func(faulty bool) *core.Result {
+				opt := nbaOpts(s, strat)
+				opt.MaxRetries = 3
+				opt.Rng = rand.New(rand.NewSource(s.Seed + 21))
+				var platform crowd.Platform = crowd.NewSimulated(e.truth, 1.0, nil)
+				if faulty {
+					platform = crowd.NewUnreliable(platform, dropProb, outageProb, 0,
+						rand.New(rand.NewSource(s.Seed+43)))
+				}
+				res, err := core.RunWithDists(e.incomplete, dists, platform, opt)
+				if err != nil {
+					t.Fatalf("pipeline errored instead of degrading: %v", err)
+				}
+				return res
+			}
+
+			clean, faulty := run(false), run(true)
+			if faulty.Rounds > s.NBALatency {
+				t.Errorf("%d rounds exceed the latency bound %d", faulty.Rounds, s.NBALatency)
+			}
+			if faulty.BudgetSpent != faulty.TasksAnswered {
+				t.Errorf("charge-on-answer ledger off: spent %d, answered %d",
+					faulty.BudgetSpent, faulty.TasksAnswered)
+			}
+			// The seed is chosen so the schedule exercises both fault
+			// paths: per-task drops (re-queue) and a round outage (retry).
+			if faulty.TasksDropped == 0 || faulty.FailedRounds == 0 {
+				t.Errorf("fault schedule vacuous: dropped=%d failed=%d",
+					faulty.TasksDropped, faulty.FailedRounds)
+			}
+			cleanF1 := metrics.F1(clean.Answers, e.sky)
+			faultyF1 := metrics.F1(faulty.Answers, e.sky)
+			if faultyF1 < cleanF1-f1Floor {
+				t.Errorf("F1 collapsed under faults: %.3f vs fault-free %.3f (floor %.2f)",
+					faultyF1, cleanF1, f1Floor)
+			}
+			t.Logf("clean: f1=%.3f rounds=%d spent=%d; faulty: f1=%.3f rounds=%d spent=%d dropped=%d requeued=%d retries=%d failed=%d degraded=%v",
+				cleanF1, clean.Rounds, clean.BudgetSpent,
+				faultyF1, faulty.Rounds, faulty.BudgetSpent,
+				faulty.TasksDropped, faulty.TasksRequeued, faulty.RoundRetries,
+				faulty.FailedRounds, faulty.Degraded)
+		})
+	}
+}

@@ -18,10 +18,10 @@ type answerLog struct {
 	answers []crowd.Answer
 }
 
-func (l *answerLog) Post(tasks []crowd.Task) []crowd.Answer {
-	out := l.inner.Post(tasks)
+func (l *answerLog) Post(tasks []crowd.Task) ([]crowd.Answer, error) {
+	out, err := l.inner.Post(tasks)
 	l.answers = append(l.answers, out...)
-	return out
+	return out, err
 }
 
 // TestProbabilityCacheFreshness is a differential check on the

@@ -122,6 +122,30 @@ type Options struct {
 	// once and then hit. The cached values themselves are identical.)
 	Workers int
 
+	// MaxRetries bounds how many times a round whose Post call failed
+	// outright (a platform outage) is re-posted before the run degrades.
+	// Answers that arrived before the failure are kept; only the
+	// still-unanswered tasks are retried. 0 — the default — retries
+	// nothing: the first failed round degrades the run.
+	MaxRetries int
+	// RetryBackoff is the base delay of the capped exponential backoff
+	// between retries: attempt i sleeps base·2^i, capped at 32·base.
+	// Zero (the default) retries immediately — simulated platforms have
+	// nothing to wait for; give live marketplaces a real base delay.
+	RetryBackoff time.Duration
+	// ChargeOnPost charges the budget for every posted task whether or
+	// not its answer arrives — the marketplace-bills-on-listing model.
+	// The default (false) charges on answer: tasks the platform drops
+	// cost nothing and their budget is available for re-posting. With a
+	// fault-free platform the two modes charge identically.
+	ChargeOnPost bool
+	// ReaskConflicts re-posts a task whose answer conflicted with
+	// earlier knowledge up to this many times within the same round and
+	// absorbs the majority relation of the re-asked answers (the unique
+	// top vote; ties stay discarded). Re-asks are charged like any other
+	// answered task. 0 — the default — keeps the discard-only policy.
+	ReaskConflicts int
+
 	// Rng drives tie-breaking; defaults to a fixed seed.
 	Rng *rand.Rand
 
@@ -142,6 +166,12 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Strategy == HHS && o.M <= 0 {
 		return o, fmt.Errorf("core: HHS requires a positive m, got %d", o.M)
 	}
+	if o.MaxRetries < 0 {
+		return o, fmt.Errorf("core: MaxRetries %d must be non-negative", o.MaxRetries)
+	}
+	if o.ReaskConflicts < 0 {
+		return o, fmt.Errorf("core: ReaskConflicts %d must be non-negative", o.ReaskConflicts)
+	}
 	if o.Rng == nil {
 		o.Rng = rand.New(rand.NewSource(1))
 	}
@@ -161,12 +191,47 @@ type Result struct {
 	// TasksPosted and Rounds are the monetary-cost and latency metrics.
 	TasksPosted int
 	Rounds      int
-	// BudgetSpent is the accumulated task cost in budget units; it equals
-	// TasksPosted under the default unit pricing.
+	// BudgetSpent is the accumulated task cost in budget units. Under the
+	// default charge-on-answer accounting it counts only delivered
+	// answers (main rounds plus re-asks), so it equals the number of
+	// answers absorbed under unit pricing; with Options.ChargeOnPost it
+	// counts posted tasks, answered or not. On a fault-free platform the
+	// two coincide and it equals TasksPosted under unit pricing.
 	BudgetSpent int
 	// ConflictingAnswers counts crowd answers that contradicted earlier
 	// knowledge and were discarded (possible with imperfect workers).
+	// Answers later rescued by the re-ask policy are still counted here;
+	// see ConflictsResolved.
 	ConflictingAnswers int
+	// ConflictsResolved counts conflicting tasks whose re-asked majority
+	// (Options.ReaskConflicts) was absorbed successfully.
+	ConflictsResolved int
+	// TasksAnswered counts answers delivered in main rounds (re-asks are
+	// tracked separately in TasksReasked); TasksPosted-TasksAnswered is
+	// the number of answers the platform dropped.
+	TasksAnswered int
+	// TasksDropped counts posted tasks whose answer never arrived.
+	TasksDropped int
+	// TasksRequeued counts dropped tasks whose expression was still
+	// undecided after the round — they return to the candidate pool and
+	// later rounds may select them again.
+	TasksRequeued int
+	// TasksReasked counts re-posted copies of conflicting tasks.
+	TasksReasked int
+	// RoundRetries counts failed Post attempts that were retried;
+	// FailedRounds counts every Post attempt that returned a round-level
+	// error, retried or not (re-ask posts included).
+	RoundRetries int
+	FailedRounds int
+	// BackoffTime is the total time slept between retries.
+	BackoffTime time.Duration
+	// Degraded reports that the run ended early on a best-effort result:
+	// a round kept failing past MaxRetries, or the budget ran out while
+	// fault-dropped tasks were still unrecovered. The Answers/Probs are
+	// still the exact probabilistic skyline of everything absorbed so
+	// far; DegradedReason says what was lost.
+	Degraded       bool
+	DegradedReason string
 	// CTable is the final conditional table after all answers were
 	// absorbed, for inspection and reporting.
 	CTable *ctable.CTable

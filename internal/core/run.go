@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -120,6 +121,34 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	var stale []int
 	var staleConds []*ctable.Condition
 
+	// absorb folds one answer into the knowledge and marks the variables
+	// it touched; main-round answers and re-ask majorities go through the
+	// same path. Only constant-comparison answers narrow a variable's
+	// interval (and hence its distribution); var-vs-var answers record a
+	// pairwise relation and leave distributions untouched.
+	absorb := func(e ctable.Expr, rel ctable.Rel) error {
+		if err := know.Absorb(e, rel); err != nil {
+			return err
+		}
+		buf = e.Vars(buf[:0])
+		for _, v := range buf {
+			touched[v] = true
+		}
+		if e.Kind != ctable.VarGTVar && !opt.NoInference {
+			v := e.X
+			lo, hi := know.Bounds(v)
+			eff[v] = conditionDist(base[v], lo, hi)
+			distChanged[v] = true
+		}
+		return nil
+	}
+
+	// pendingDropped tracks fault-dropped tasks across rounds: an expression
+	// goes in when its answer is lost, comes out when a later answer for it
+	// arrives, and anything still undecided when the budget runs out marks
+	// the result Degraded (the crowd work the faults cost us).
+	pendingDropped := map[ctable.Expr]bool{}
+
 	for remaining > 0 {
 		if len(probs) == 0 {
 			break // every condition decided
@@ -135,52 +164,123 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		if len(tasks) == 0 {
 			break // nothing conflict-free left to ask
 		}
-		// Algorithm 4 line 8: the budget shrinks by at least μ per round
-		// even when conflicts leave the batch short, which bounds the
-		// number of rounds by the latency constraint L. With variable
-		// task prices the round is charged its actual accumulated cost
-		// when that exceeds the allowance (a first-task overshoot).
 		batchCost := 0
 		for _, t := range tasks {
 			batchCost += taskCost(opt, t)
 		}
-		charge := mu
-		if batchCost > charge {
-			charge = batchCost
+
+		// Post the round, retrying outages with capped exponential backoff.
+		// Whatever arrived before a terminal failure is still absorbed; the
+		// run then degrades instead of erroring (best-effort semantics).
+		answers, postErr := postWithRetry(platform, tasks, opt, result)
+		result.TasksPosted += len(tasks)
+		result.TasksAnswered += len(answers)
+		if postErr == nil {
+			result.Rounds++
+		}
+
+		clear(touched)
+		clear(distChanged)
+		var conflicted []crowd.Task
+		var conflictSeen map[ctable.Expr]bool
+		for _, a := range answers {
+			delete(pendingDropped, a.Task.Expr)
+			if err := absorb(a.Task.Expr, a.Rel); err != nil {
+				if errors.Is(err, ctable.ErrConflict) {
+					result.ConflictingAnswers++
+					if opt.ReaskConflicts > 0 && !conflictSeen[a.Task.Expr] {
+						if conflictSeen == nil {
+							conflictSeen = map[ctable.Expr]bool{}
+						}
+						conflictSeen[a.Task.Expr] = true
+						conflicted = append(conflicted, a.Task)
+					}
+					continue
+				}
+				return nil, err
+			}
+		}
+
+		// Budget accounting. Charge-on-answer (the default) pays for
+		// delivered answers only — a dropped task costs nothing and its
+		// budget stays available for re-posting; ChargeOnPost pays for the
+		// listing. Either way the round consumes at least the μ allowance
+		// of the latency model (Algorithm 4 line 8: the budget shrinks by
+		// at least μ per round even when conflicts leave the batch short,
+		// which bounds the number of rounds by the latency constraint L;
+		// with variable task prices the round is charged its actual
+		// accumulated cost when that exceeds the allowance).
+		answeredCost := 0
+		answeredExpr := make(map[ctable.Expr]bool, len(answers))
+		for _, a := range answers {
+			answeredCost += taskCost(opt, a.Task)
+			answeredExpr[a.Task.Expr] = true
+		}
+		charged := answeredCost
+		if opt.ChargeOnPost {
+			charged = batchCost
+		}
+
+		// Re-ask conflicting tasks (within the same logical round): k
+		// copies re-posted, the strict majority of whatever comes back
+		// absorbed in place of the discarded answer. Re-ask posts share
+		// the platform's fault model but are not retried themselves.
+		if postErr == nil && opt.ReaskConflicts > 0 {
+			for _, t := range conflicted {
+				if remaining-charged <= 0 {
+					break // no budget left to re-ask with
+				}
+				copies := make([]crowd.Task, opt.ReaskConflicts)
+				for i := range copies {
+					copies[i] = t
+				}
+				reAnswers, err := platform.Post(copies)
+				result.TasksReasked += len(copies)
+				if err != nil {
+					result.FailedRounds++
+				}
+				if opt.ChargeOnPost {
+					charged += len(copies) * taskCost(opt, t)
+				} else {
+					charged += len(reAnswers) * taskCost(opt, t)
+				}
+				maj, ok := majorityRel(reAnswers)
+				if !ok {
+					continue // nothing arrived, or no strict majority
+				}
+				if err := absorb(t.Expr, maj); err != nil {
+					if errors.Is(err, ctable.ErrConflict) {
+						result.ConflictingAnswers++
+						continue
+					}
+					return nil, err
+				}
+				result.ConflictsResolved++
+			}
+		}
+
+		result.BudgetSpent += charged
+		charge := charged
+		if charge < mu {
+			charge = mu
 		}
 		remaining -= charge
 		if remaining < 0 {
 			remaining = 0
 		}
 
-		answers := platform.Post(tasks)
-		result.TasksPosted += len(tasks)
-		result.BudgetSpent += batchCost
-		result.Rounds++
-
-		// Absorb the answers. Only constant-comparison answers narrow a
-		// variable's interval (and hence its distribution); var-vs-var
-		// answers record a pairwise relation and leave distributions
-		// untouched.
-		clear(touched)
-		clear(distChanged)
-		for _, a := range answers {
-			if err := know.Absorb(a.Task.Expr, a.Rel); err != nil {
-				if errors.Is(err, ctable.ErrConflict) {
-					result.ConflictingAnswers++
-					continue
-				}
-				return nil, err
+		// Unanswered tasks: count the drop, and re-queue whatever this
+		// round's absorbed answers did not incidentally decide — their
+		// conditions still hold the expressions, so later rounds may
+		// select them again.
+		for _, t := range tasks {
+			if answeredExpr[t.Expr] {
+				continue
 			}
-			buf = a.Task.Expr.Vars(buf[:0])
-			for _, v := range buf {
-				touched[v] = true
-			}
-			if a.Task.Expr.Kind != ctable.VarGTVar && !opt.NoInference {
-				v := a.Task.Expr.X
-				lo, hi := know.Bounds(v)
-				eff[v] = conditionDist(base[v], lo, hi)
-				distChanged[v] = true
+			result.TasksDropped++
+			if _, decided := know.Eval(t.Expr); !decided {
+				result.TasksRequeued++
+				pendingDropped[t.Expr] = true
 			}
 		}
 
@@ -250,8 +350,35 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		}
 		result.ProbTime += time.Since(probStart)
 
+		if postErr != nil {
+			// Retries exhausted mid-phase: keep everything absorbed so far
+			// and return the best-effort probabilistic skyline instead of
+			// an error or a hang.
+			result.Degraded = true
+			result.DegradedReason = fmt.Sprintf(
+				"crowd round failed after %d retries: %v", opt.MaxRetries, postErr)
+			break
+		}
 		if opt.OnRound != nil {
 			opt.OnRound(result.Rounds, len(tasks), len(probs))
+		}
+	}
+
+	// Budget gone while fault-dropped tasks were still unrecovered and the
+	// result still uncertain: the faults consumed crowd work the query
+	// needed. Flag it — the answer set below is still the exact inference
+	// over everything that did arrive.
+	if !result.Degraded && len(probs) > 0 {
+		unrecovered := 0
+		for e := range pendingDropped {
+			if _, decided := know.Eval(e); !decided {
+				unrecovered++
+			}
+		}
+		if unrecovered > 0 {
+			result.Degraded = true
+			result.DegradedReason = fmt.Sprintf(
+				"budget exhausted with %d fault-dropped tasks unrecovered", unrecovered)
 		}
 	}
 
@@ -273,4 +400,76 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		result.Cache = ev.Cache.Stats()
 	}
 	return result, nil
+}
+
+// postWithRetry posts one round's batch, retrying round-level failures up
+// to Options.MaxRetries with capped exponential backoff (base·2^attempt,
+// capped at 32·base). Answers that arrived before a failure are kept and
+// only the still-unanswered tasks are re-posted — a retry never asks the
+// crowd the same question twice. It returns everything that arrived; the
+// error is non-nil only when retries are exhausted with tasks still
+// unanswered.
+func postWithRetry(platform crowd.Platform, tasks []crowd.Task, opt Options, result *Result) ([]crowd.Answer, error) {
+	pending := tasks
+	var got []crowd.Answer
+	for attempt := 0; ; attempt++ {
+		answers, err := platform.Post(pending)
+		got = append(got, answers...)
+		if err == nil {
+			return got, nil
+		}
+		result.FailedRounds++
+		if len(answers) > 0 {
+			answered := make(map[ctable.Expr]bool, len(answers))
+			for _, a := range answers {
+				answered[a.Task.Expr] = true
+			}
+			var rest []crowd.Task
+			for _, t := range pending {
+				if !answered[t.Expr] {
+					rest = append(rest, t)
+				}
+			}
+			pending = rest
+			if len(pending) == 0 {
+				return got, nil
+			}
+		}
+		if attempt >= opt.MaxRetries {
+			return got, err
+		}
+		result.RoundRetries++
+		if opt.RetryBackoff > 0 {
+			shift := attempt
+			if shift > 5 {
+				shift = 5 // cap the delay at 32× the base
+			}
+			start := time.Now()
+			time.Sleep(opt.RetryBackoff << uint(shift))
+			result.BackoffTime += time.Since(start)
+		}
+	}
+}
+
+// majorityRel aggregates re-asked answers: the uniquely most-voted
+// relation among the delivered votes, ok=false when nothing arrived or
+// the top vote is tied (a tie is no better evidence than the conflict it
+// is meant to settle).
+func majorityRel(answers []crowd.Answer) (ctable.Rel, bool) {
+	if len(answers) == 0 {
+		return 0, false
+	}
+	counts := [3]int{}
+	for _, a := range answers {
+		counts[a.Rel]++
+	}
+	best, tie := ctable.LT, false
+	for _, r := range []ctable.Rel{ctable.EQ, ctable.GT} {
+		if counts[r] > counts[best] {
+			best, tie = r, false
+		} else if counts[r] == counts[best] {
+			tie = true
+		}
+	}
+	return best, !tie
 }

@@ -150,15 +150,18 @@ type flakyPlatform struct {
 	drop  float64
 }
 
-func (f *flakyPlatform) Post(tasks []crowd.Task) []crowd.Answer {
-	answers := f.inner.Post(tasks)
+func (f *flakyPlatform) Post(tasks []crowd.Task) ([]crowd.Answer, error) {
+	answers, err := f.inner.Post(tasks)
+	if err != nil {
+		return answers, err
+	}
 	kept := answers[:0]
 	for _, a := range answers {
 		if f.rng.Float64() >= f.drop {
 			kept = append(kept, a)
 		}
 	}
-	return kept
+	return kept, nil
 }
 
 func TestDroppedAnswersDoNotWedgeTheRun(t *testing.T) {

@@ -9,6 +9,12 @@
 // configurable worker accuracy — exactly the worker model the paper's own
 // offline experiments use (accuracy 0.7–1.0, three workers per task,
 // majority voting).
+//
+// Real marketplaces are lossy: HITs expire unanswered, workers straggle,
+// and the platform itself has outages. The Platform contract is therefore
+// fallible — Post may return a partial answer set and/or a round-level
+// error — and the Unreliable wrapper injects exactly those failure modes
+// (seeded, deterministic) into any backend for testing and benchmarking.
 package crowd
 
 import (
@@ -46,17 +52,63 @@ type Answer struct {
 }
 
 // Platform is the interface BayesCrowd posts batches of tasks to. One
-// Post call is one iteration/round in the paper's latency model.
+// Post call is one iteration/round (or one retry of a round) in the
+// paper's latency model.
+//
+// The contract is fallible, because live marketplaces are:
+//
+//   - Post may return a partial answer set: every returned Answer must
+//     correspond to one of the posted tasks, but tasks may go unanswered
+//     (an expired HIT, a straggling worker). Unanswered tasks stay
+//     undecided and the caller may re-post them later.
+//   - Post may return a round-level error (a platform outage). Any
+//     answers returned alongside the error arrived before the failure
+//     and are valid; the caller may retry the still-unanswered tasks.
+//
+// A nil error with a full answer set is the fault-free fast path the
+// simulated backends take.
 type Platform interface {
-	Post(tasks []Task) []Answer
+	Post(tasks []Task) ([]Answer, error)
 }
 
-// Stats tracks the monetary-cost and latency metrics the paper reports:
+// Stats tracks the monetary-cost and latency metrics the paper reports —
 // total tasks posted (each costs a fixed amount, so #tasks is the
-// monetary cost) and rounds used (#rounds is the latency).
+// monetary cost) and rounds used (#rounds is the latency) — split by
+// round outcome so that lossy rounds are visible: a round counts in
+// exactly one of Rounds (fully answered), PartialRounds (some answers
+// lost) or FailedRounds (round-level error).
 type Stats struct {
+	// TasksPosted counts tasks submitted across all Post calls,
+	// including those that were never answered.
 	TasksPosted int
-	Rounds      int
+	// TasksAnswered counts answers actually delivered; the difference
+	// TasksPosted-TasksAnswered is the platform's drop count.
+	TasksAnswered int
+	// Rounds counts fully answered Post calls (empty batches excluded).
+	Rounds int
+	// PartialRounds counts Post calls that succeeded but delivered fewer
+	// answers than tasks.
+	PartialRounds int
+	// FailedRounds counts Post calls that returned a round-level error.
+	FailedRounds int
+}
+
+// record books one Post call's outcome into exactly one round bucket.
+// It is a no-op for empty batches (an empty batch is not a round).
+func (s *Stats) record(posted, answered int, err error) {
+	if posted == 0 && err == nil {
+		return
+	}
+	s.TasksPosted += posted
+	s.TasksAnswered += answered
+	switch {
+	case err != nil:
+		s.FailedRounds++
+	case answered < posted:
+		s.PartialRounds++
+	default:
+		s.Rounds++
+	}
 }
 
 // Simulated is a Platform that answers from hidden ground truth with
@@ -77,10 +129,15 @@ type Simulated struct {
 }
 
 // NewSimulated returns a simulated platform with the paper's defaults:
-// three workers per task, majority voting.
+// three workers per task, majority voting. Imperfect workers need a
+// randomness source: accuracy < 1 with a nil rng is rejected rather than
+// silently simulating perfect workers.
 func NewSimulated(truth *dataset.Dataset, accuracy float64, rng *rand.Rand) *Simulated {
 	if accuracy < 0 || accuracy > 1 {
 		panic(fmt.Sprintf("crowd: accuracy %v outside [0,1]", accuracy))
+	}
+	if accuracy < 1 && rng == nil {
+		panic(fmt.Sprintf("crowd: accuracy %v needs an Rng to drive worker errors", accuracy))
 	}
 	return &Simulated{Truth: truth, Accuracy: accuracy, WorkersPerTask: 3, Rng: rng}
 }
@@ -88,20 +145,27 @@ func NewSimulated(truth *dataset.Dataset, accuracy float64, rng *rand.Rand) *Sim
 // Post answers one batch of tasks: every task is voted on by
 // WorkersPerTask simulated workers and the majority relation is returned
 // (ties broken by the first vote, mirroring a requester accepting the
-// earliest answer). The batch counts as one round.
-func (s *Simulated) Post(tasks []Task) []Answer {
+// earliest answer). The batch counts as one round. The simulator itself
+// never drops answers; it fails only on a misconfigured worker model
+// (Accuracy < 1 without an Rng — constructing via NewSimulated rules
+// this out).
+func (s *Simulated) Post(tasks []Task) ([]Answer, error) {
 	if len(tasks) == 0 {
-		return nil
+		return nil, nil
 	}
-	s.Stats.Rounds++
-	s.Stats.TasksPosted += len(tasks)
+	if s.Accuracy < 1 && s.Rng == nil {
+		err := fmt.Errorf("crowd: accuracy %v needs an Rng to drive worker errors", s.Accuracy)
+		s.Stats.record(0, 0, err)
+		return nil, err
+	}
 
 	answers := make([]Answer, len(tasks))
 	for i, task := range tasks {
 		truth := ctable.TrueRel(s.Truth, task.Expr)
 		answers[i] = Answer{Task: task, Rel: s.vote(truth)}
 	}
-	return answers
+	s.Stats.record(len(tasks), len(answers), nil)
+	return answers, nil
 }
 
 // vote simulates WorkersPerTask workers and aggregates by majority.
@@ -129,9 +193,10 @@ func (s *Simulated) vote(truth ctable.Rel) ctable.Rel {
 }
 
 // workerAnswer returns one worker's response: the truth with probability
-// Accuracy, otherwise one of the two wrong relations uniformly.
+// Accuracy, otherwise one of the two wrong relations uniformly. Post has
+// already rejected the Accuracy < 1 && Rng == nil misconfiguration.
 func (s *Simulated) workerAnswer(truth ctable.Rel) ctable.Rel {
-	if s.Accuracy >= 1 || s.Rng == nil {
+	if s.Accuracy >= 1 {
 		return truth
 	}
 	if s.Rng.Float64() < s.Accuracy {

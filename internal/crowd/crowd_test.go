@@ -17,6 +17,17 @@ func truthTable() *dataset.Dataset {
 	)
 }
 
+// mustPost fails the test on a round-level error — the fault-free
+// platforms under test must never produce one.
+func mustPost(tb testing.TB, p Platform, tasks []Task) []Answer {
+	tb.Helper()
+	answers, err := p.Post(tasks)
+	if err != nil {
+		tb.Fatalf("Post: %v", err)
+	}
+	return answers
+}
+
 func TestPerfectWorkersAnswerTruth(t *testing.T) {
 	truth := truthTable()
 	p := NewSimulated(truth, 1.0, nil)
@@ -25,7 +36,7 @@ func TestPerfectWorkersAnswerTruth(t *testing.T) {
 		{Expr: ctable.GTConst(ctable.Var{Obj: 1, Attr: 0}, 5)},                         // 5 vs 5 → EQ
 		{Expr: ctable.GTVar(ctable.Var{Obj: 1, Attr: 0}, ctable.Var{Obj: 0, Attr: 0})}, // 5 vs 3 → GT
 	}
-	answers := p.Post(tasks)
+	answers := mustPost(t, p, tasks)
 	want := []ctable.Rel{ctable.LT, ctable.EQ, ctable.GT}
 	for i, a := range answers {
 		if a.Rel != want[i] {
@@ -40,9 +51,9 @@ func TestPerfectWorkersAnswerTruth(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	p := NewSimulated(truthTable(), 1.0, nil)
 	task := Task{Expr: ctable.LTConst(ctable.Var{Obj: 0, Attr: 0}, 5)}
-	p.Post([]Task{task, task})
-	p.Post([]Task{task})
-	p.Post(nil) // empty batch is not a round
+	mustPost(t, p, []Task{task, task})
+	mustPost(t, p, []Task{task})
+	mustPost(t, p, nil) // empty batch is not a round
 	if p.Stats.TasksPosted != 3 {
 		t.Errorf("TasksPosted = %d, want 3", p.Stats.TasksPosted)
 	}
@@ -62,7 +73,7 @@ func TestMajorityVotingBeatsSingleWorker(t *testing.T) {
 		p.WorkersPerTask = workers
 		correct := 0
 		for i := 0; i < trials; i++ {
-			if p.Post([]Task{task})[0].Rel == ctable.LT {
+			if mustPost(t, p, []Task{task})[0].Rel == ctable.LT {
 				correct++
 			}
 		}
@@ -93,7 +104,7 @@ func TestZeroAccuracyNeverTruth(t *testing.T) {
 	p.WorkersPerTask = 1
 	task := Task{Expr: ctable.LTConst(ctable.Var{Obj: 0, Attr: 0}, 5)} // truth LT
 	for i := 0; i < 200; i++ {
-		if p.Post([]Task{task})[0].Rel == ctable.LT {
+		if mustPost(t, p, []Task{task})[0].Rel == ctable.LT {
 			t.Fatal("zero-accuracy worker answered the truth")
 		}
 	}
@@ -119,7 +130,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 		p := NewSimulated(truth, 0.7, rand.New(rand.NewSource(99)))
 		var out []ctable.Rel
 		for i := 0; i < 50; i++ {
-			out = append(out, p.Post([]Task{task})[0].Rel)
+			out = append(out, mustPost(t, p, []Task{task})[0].Rel)
 		}
 		return out
 	}

@@ -75,18 +75,19 @@ func (p *Pool) Eligible() []*Worker {
 }
 
 // Post assigns every task to VotesPerTask distinct eligible workers and
-// majority-votes their answers (ties broken by the first vote). It panics
-// if the recruitment threshold leaves no eligible worker.
-func (p *Pool) Post(tasks []Task) []Answer {
+// majority-votes their answers (ties broken by the first vote). It fails
+// the round — a recruitment outage, no answers delivered — when the
+// recruitment threshold leaves no eligible worker.
+func (p *Pool) Post(tasks []Task) ([]Answer, error) {
 	if len(tasks) == 0 {
-		return nil
+		return nil, nil
 	}
 	eligible := p.Eligible()
 	if len(eligible) == 0 {
-		panic(fmt.Sprintf("crowd: recruitment threshold %v leaves no eligible workers", p.MinAccuracy))
+		err := fmt.Errorf("crowd: recruitment threshold %v leaves no eligible workers", p.MinAccuracy)
+		p.Stats.record(len(tasks), 0, err)
+		return nil, err
 	}
-	p.Stats.Rounds++
-	p.Stats.TasksPosted += len(tasks)
 
 	votes := p.VotesPerTask
 	if votes < 1 {
@@ -129,7 +130,8 @@ func (p *Pool) Post(tasks []Task) []Answer {
 		}
 		answers[i] = Answer{Task: task, Rel: best}
 	}
-	return answers
+	p.Stats.record(len(tasks), len(answers), nil)
+	return answers, nil
 }
 
 // workerAnswer mirrors Simulated.workerAnswer for an individual worker.

@@ -54,7 +54,7 @@ func TestRecruitmentThresholdFiltersWorkers(t *testing.T) {
 	}
 	// Answer a batch; only eligible workers may be used.
 	task := Task{Expr: ctable.LTConst(ctable.Var{Obj: 0, Attr: 0}, 5)}
-	p.Post([]Task{task, task, task})
+	mustPost(t, p, []Task{task, task, task})
 	for _, w := range p.Workers {
 		if w.Accuracy < 0.8 && w.Answered > 0 {
 			t.Fatalf("below-threshold worker %s answered %d tasks", w.ID, w.Answered)
@@ -72,7 +72,7 @@ func TestRecruitmentImprovesAnswerQuality(t *testing.T) {
 		p.MinAccuracy = minAcc
 		correct := 0
 		for i := 0; i < trials; i++ {
-			if p.Post([]Task{task})[0].Rel == ctable.LT {
+			if mustPost(t, p, []Task{task})[0].Rel == ctable.LT {
 				correct++
 			}
 		}
@@ -88,22 +88,25 @@ func TestRecruitmentImprovesAnswerQuality(t *testing.T) {
 	}
 }
 
-func TestPoolStatsAndNoEligiblePanic(t *testing.T) {
+func TestPoolStatsAndNoEligibleFails(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	p := NewPool(truthTable(), 10, 0.5, 0.7, rng)
 	task := Task{Expr: ctable.GTConst(ctable.Var{Obj: 1, Attr: 0}, 3)}
-	p.Post([]Task{task, task})
-	p.Post(nil)
-	if p.Stats.TasksPosted != 2 || p.Stats.Rounds != 1 {
+	mustPost(t, p, []Task{task, task})
+	mustPost(t, p, nil)
+	if p.Stats.TasksPosted != 2 || p.Stats.TasksAnswered != 2 || p.Stats.Rounds != 1 {
 		t.Fatalf("stats = %+v", p.Stats)
 	}
+	// An over-tight recruitment threshold is a round-level failure, not a
+	// crash: no answers, an error, and a failed round on the books.
 	p.MinAccuracy = 0.99
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty eligible set did not panic")
-		}
-	}()
-	p.Post([]Task{task})
+	answers, err := p.Post([]Task{task})
+	if err == nil || len(answers) != 0 {
+		t.Fatalf("empty eligible set: answers=%v err=%v", answers, err)
+	}
+	if p.Stats.FailedRounds != 1 || p.Stats.TasksPosted != 3 {
+		t.Fatalf("stats after failed round = %+v", p.Stats)
+	}
 }
 
 func TestPoolCyclesWhenVotesExceedWorkers(t *testing.T) {
@@ -111,7 +114,7 @@ func TestPoolCyclesWhenVotesExceedWorkers(t *testing.T) {
 	p := NewPool(truthTable(), 2, 1.0, 1.0, rng)
 	p.VotesPerTask = 5
 	task := Task{Expr: ctable.LTConst(ctable.Var{Obj: 0, Attr: 0}, 5)}
-	answers := p.Post([]Task{task})
+	answers := mustPost(t, p, []Task{task})
 	if answers[0].Rel != ctable.LT {
 		t.Fatalf("perfect pool answered %v", answers[0].Rel)
 	}
@@ -129,7 +132,7 @@ func TestPoolLoadIsSpread(t *testing.T) {
 	p := NewPool(truthTable(), 30, 1.0, 1.0, rng)
 	task := Task{Expr: ctable.LTConst(ctable.Var{Obj: 0, Attr: 0}, 5)}
 	for i := 0; i < 300; i++ {
-		p.Post([]Task{task})
+		mustPost(t, p, []Task{task})
 	}
 	// 900 votes over 30 workers → 30 each on average; nobody should be
 	// starved or monopolised under uniform random assignment.
@@ -149,7 +152,7 @@ func TestPoolDistinctVotersPerTask(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	p := NewPool(truthTable(), 3, 1.0, 1.0, rng)
 	task := Task{Expr: ctable.LTConst(ctable.Var{Obj: 0, Attr: 0}, 5)}
-	p.Post([]Task{task})
+	mustPost(t, p, []Task{task})
 	for _, w := range p.Workers {
 		if w.Answered != 1 {
 			t.Fatalf("worker %s answered %d times for one 3-vote task", w.ID, w.Answered)
@@ -175,7 +178,7 @@ func TestPoolMatchesSimulatedHomogeneous(t *testing.T) {
 	pool := NewPool(truth, 50, 0.8, 0.8, rand.New(rand.NewSource(9)))
 	correct := 0
 	for i := 0; i < trials; i++ {
-		if pool.Post([]Task{task})[0].Rel == ctable.LT {
+		if mustPost(t, pool, []Task{task})[0].Rel == ctable.LT {
 			correct++
 		}
 	}

@@ -1,0 +1,103 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"bayescrowd/internal/ctable"
+)
+
+// ErrOutage is the round-level error Unreliable returns when the whole
+// platform is down for a round: no tasks were listed and no answers
+// arrived. Callers should retry the round (with backoff) or degrade.
+var ErrOutage = errors.New("crowd: platform outage: round failed")
+
+// Unreliable wraps any Platform with seeded, deterministic fault
+// injection — the failure modes a live marketplace (the paper's §7.5 AMT
+// deployment) exhibits and the simulators hide:
+//
+//   - round outages: with probability OutageProb a Post call fails
+//     outright (ErrOutage), delivering nothing;
+//   - task drops: each answer is lost with probability DropProb (an
+//     expired HIT, a straggler past the deadline) — Post then returns a
+//     partial answer set with a nil error;
+//   - spammers: each surviving answer is replaced with a uniformly
+//     random relation with probability SpamProb (a worker answering
+//     without reading the question).
+//
+// All draws come from the wrapper's own Rng in a fixed order (one outage
+// draw per round, then one drop and, if kept, one spam draw per task in
+// task order), independent of the inner platform's randomness, so a
+// fixed seed reproduces the exact same fault schedule run after run.
+type Unreliable struct {
+	Inner Platform
+	// DropProb is the per-task probability the answer never arrives.
+	DropProb float64
+	// OutageProb is the per-round probability the whole Post call fails.
+	OutageProb float64
+	// SpamProb is the per-task probability a delivered answer is replaced
+	// by a uniformly random relation.
+	SpamProb float64
+	// Rng drives the injection; required when any probability is
+	// positive.
+	Rng *rand.Rand
+
+	// Stats describes the rounds as the requester observed them through
+	// the unreliable channel (the inner platform keeps its own books).
+	Stats Stats
+	// Dropped, Spammed and Outages count the injected faults.
+	Dropped int
+	Spammed int
+	Outages int
+}
+
+// NewUnreliable wraps inner with fault injection. Probabilities must be
+// in [0,1); rng is required when any of them is positive.
+func NewUnreliable(inner Platform, dropProb, outageProb, spamProb float64, rng *rand.Rand) *Unreliable {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", dropProb}, {"outage", outageProb}, {"spam", spamProb}} {
+		if p.v < 0 || p.v >= 1 {
+			panic(fmt.Sprintf("crowd: %s probability %v outside [0,1)", p.name, p.v))
+		}
+	}
+	if (dropProb > 0 || outageProb > 0 || spamProb > 0) && rng == nil {
+		panic("crowd: fault injection needs an Rng")
+	}
+	return &Unreliable{Inner: inner, DropProb: dropProb, OutageProb: outageProb, SpamProb: spamProb, Rng: rng}
+}
+
+// Post forwards the batch to the inner platform and injects the
+// configured faults into the result. With all probabilities zero it is a
+// transparent proxy: the inner answers pass through untouched.
+func (u *Unreliable) Post(tasks []Task) ([]Answer, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	if u.OutageProb > 0 && u.Rng.Float64() < u.OutageProb {
+		u.Outages++
+		u.Stats.record(len(tasks), 0, ErrOutage)
+		return nil, ErrOutage
+	}
+	answers, err := u.Inner.Post(tasks)
+	if err != nil {
+		u.Stats.record(len(tasks), len(answers), err)
+		return answers, err
+	}
+	kept := answers[:0]
+	for _, a := range answers {
+		if u.DropProb > 0 && u.Rng.Float64() < u.DropProb {
+			u.Dropped++
+			continue
+		}
+		if u.SpamProb > 0 && u.Rng.Float64() < u.SpamProb {
+			u.Spammed++
+			a.Rel = []ctable.Rel{ctable.LT, ctable.EQ, ctable.GT}[u.Rng.Intn(3)]
+		}
+		kept = append(kept, a)
+	}
+	u.Stats.record(len(tasks), len(kept), nil)
+	return kept, nil
+}

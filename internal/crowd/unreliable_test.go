@@ -1,0 +1,149 @@
+package crowd
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bayescrowd/internal/ctable"
+)
+
+func someTasks(n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Expr: ctable.LTConst(ctable.Var{Obj: i % 2, Attr: i % 2}, 5)}
+	}
+	return tasks
+}
+
+func TestUnreliableZeroFaultsIsTransparent(t *testing.T) {
+	truth := truthTable()
+	tasks := someTasks(6)
+	direct := mustPost(t, NewSimulated(truth, 1.0, nil), tasks)
+	wrapped := mustPost(t, NewUnreliable(NewSimulated(truth, 1.0, nil), 0, 0, 0, nil), tasks)
+	if !reflect.DeepEqual(direct, wrapped) {
+		t.Fatalf("zero-fault wrapper changed answers:\n%v\n%v", direct, wrapped)
+	}
+}
+
+func TestUnreliableDropsAreDeterministic(t *testing.T) {
+	truth := truthTable()
+	tasks := someTasks(8)
+	run := func() ([][]Answer, Stats, int) {
+		u := NewUnreliable(NewSimulated(truth, 1.0, nil), 0.3, 0, 0, rand.New(rand.NewSource(11)))
+		var rounds [][]Answer
+		for i := 0; i < 20; i++ {
+			rounds = append(rounds, mustPost(t, u, tasks))
+		}
+		return rounds, u.Stats, u.Dropped
+	}
+	r1, s1, d1 := run()
+	r2, s2, d2 := run()
+	if !reflect.DeepEqual(r1, r2) || s1 != s2 || d1 != d2 {
+		t.Fatal("same seed produced a different fault schedule")
+	}
+	if d1 == 0 {
+		t.Fatal("drop probability 0.3 dropped nothing in 160 tasks")
+	}
+	if s1.TasksPosted != 160 || s1.TasksAnswered != 160-d1 {
+		t.Fatalf("stats = %+v with %d dropped", s1, d1)
+	}
+	if s1.Rounds+s1.PartialRounds != 20 || s1.PartialRounds == 0 {
+		t.Fatalf("round split = %+v", s1)
+	}
+}
+
+func TestUnreliableOutage(t *testing.T) {
+	truth := truthTable()
+	u := NewUnreliable(NewSimulated(truth, 1.0, nil), 0, 0.5, 0, rand.New(rand.NewSource(3)))
+	tasks := someTasks(4)
+	sawOutage, sawRound := false, false
+	for i := 0; i < 40; i++ {
+		answers, err := u.Post(tasks)
+		if err != nil {
+			if !errors.Is(err, ErrOutage) {
+				t.Fatalf("outage error = %v", err)
+			}
+			if len(answers) != 0 {
+				t.Fatal("outage round delivered answers")
+			}
+			sawOutage = true
+		} else {
+			if len(answers) != len(tasks) {
+				t.Fatal("drop-free success round lost answers")
+			}
+			sawRound = true
+		}
+	}
+	if !sawOutage || !sawRound {
+		t.Fatalf("outage=%v success=%v after 40 rounds at p=0.5", sawOutage, sawRound)
+	}
+	if u.Stats.FailedRounds != u.Outages || u.Stats.FailedRounds+u.Stats.Rounds != 40 {
+		t.Fatalf("stats = %+v, outages = %d", u.Stats, u.Outages)
+	}
+}
+
+func TestUnreliableSpam(t *testing.T) {
+	truth := truthTable()
+	// Perfect inner workers; any wrong relation must come from the
+	// spammer injection.
+	u := NewUnreliable(NewSimulated(truth, 1.0, nil), 0, 0, 0.5, rand.New(rand.NewSource(7)))
+	task := Task{Expr: ctable.LTConst(ctable.Var{Obj: 0, Attr: 0}, 5)} // truth LT
+	wrong := 0
+	for i := 0; i < 300; i++ {
+		if mustPost(t, u, []Task{task})[0].Rel != ctable.LT {
+			wrong++
+		}
+	}
+	// A spammed answer is uniform over 3 relations, so ~1/3 of spammed
+	// answers still look right: expect ≈ 300·0.5·(2/3) = 100 wrong.
+	if wrong < 60 || wrong > 140 {
+		t.Fatalf("wrong answers = %d, want ~100", wrong)
+	}
+	if u.Spammed == 0 || u.Dropped != 0 || u.Outages != 0 {
+		t.Fatalf("injections: spam=%d drop=%d outage=%d", u.Spammed, u.Dropped, u.Outages)
+	}
+}
+
+func TestUnreliableValidation(t *testing.T) {
+	inner := NewSimulated(truthTable(), 1.0, nil)
+	for _, fn := range []func(){
+		func() { NewUnreliable(inner, -0.1, 0, 0, nil) },
+		func() { NewUnreliable(inner, 0, 1.0, 0, nil) }, // 1.0 would never terminate
+		func() { NewUnreliable(inner, 0.2, 0, 0, nil) }, // faults need an Rng
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NewUnreliable did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSimulatedRejectsImperfectWorkersWithoutRng(t *testing.T) {
+	// The documented contract says Rng is required when Accuracy < 1;
+	// faking perfect workers instead would silently skew experiments.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewSimulated(accuracy<1, nil rng) did not panic")
+			}
+		}()
+		NewSimulated(truthTable(), 0.8, nil)
+	}()
+
+	// Struct-literal construction bypasses the constructor; Post must
+	// refuse the round rather than answer with the truth.
+	p := &Simulated{Truth: truthTable(), Accuracy: 0.8, WorkersPerTask: 3}
+	answers, err := p.Post(someTasks(2))
+	if err == nil || len(answers) != 0 {
+		t.Fatalf("misconfigured Post: answers=%v err=%v", answers, err)
+	}
+	if p.Stats.FailedRounds != 1 || p.Stats.TasksAnswered != 0 {
+		t.Fatalf("stats = %+v", p.Stats)
+	}
+}

@@ -195,7 +195,14 @@ func Run(d *dataset.Dataset, platform crowd.Platform, opt Options) (*Result, err
 		if len(batch) == 0 {
 			break
 		}
-		for _, a := range platform.Post(batch) {
+		// CrowdSky is the robustness-free baseline: it has no retry or
+		// degradation machinery, so a failed round fails the query, and
+		// silently dropped answers simply leave their pairs unresolved.
+		got, err := platform.Post(batch)
+		if err != nil {
+			return nil, fmt.Errorf("crowdsky: round %d failed: %w", res.Rounds+1, err)
+		}
+		for _, a := range got {
 			answers[a.Task.Expr] = a.Rel
 		}
 		res.TasksPosted += len(batch)

@@ -91,7 +91,7 @@ type recordingPlatform struct {
 	batches [][]crowd.Task
 }
 
-func (r *recordingPlatform) Post(tasks []crowd.Task) []crowd.Answer {
+func (r *recordingPlatform) Post(tasks []crowd.Task) ([]crowd.Answer, error) {
 	r.batches = append(r.batches, append([]crowd.Task(nil), tasks...))
 	return r.inner.Post(tasks)
 }

@@ -27,6 +27,12 @@ type Knowledge struct {
 	// answers. It exists for the answer-propagation ablation benchmark.
 	NoInference bool
 	exprTruth   map[Expr]bool
+
+	// Conflicts counts answers Absorb rejected for contradicting earlier
+	// knowledge. Discarded answers used to be invisible; the counter (and
+	// the ConflictError detail Absorb returns) makes noisy-worker damage
+	// observable and drives the crowd phase's re-ask policy.
+	Conflicts int
 }
 
 // NewKnowledge returns empty knowledge over the dataset's attribute
@@ -67,14 +73,41 @@ func (k *Knowledge) Pinned(x Var) (int, bool) {
 
 // ErrConflict is returned when an answer contradicts earlier knowledge
 // (possible with imperfect workers); the conflicting answer is discarded
-// and the previous state kept.
+// and the previous state kept. Match with errors.Is — the concrete value
+// Absorb returns is a *ConflictError carrying the rejected answer.
 var ErrConflict = fmt.Errorf("ctable: answer conflicts with existing knowledge")
+
+// ConflictError details one rejected answer: which expression was
+// answered, what relation the crowd asserted, and the surviving interval
+// it would have emptied (constant comparisons) or the stored relation it
+// contradicts (variable pairs). errors.Is(err, ErrConflict) matches it.
+type ConflictError struct {
+	Expr Expr
+	Rel  Rel
+	// Lo, Hi is the variable's surviving interval (constant comparisons).
+	Lo, Hi int
+	// Stored is the previously recorded relation (variable pairs).
+	Stored Rel
+}
+
+func (e *ConflictError) Error() string {
+	if e.Expr.Kind == VarGTVar {
+		return fmt.Sprintf("ctable: answer %v %v %v conflicts with stored relation %v",
+			e.Expr.X, e.Rel, e.Expr.Y, e.Stored)
+	}
+	return fmt.Sprintf("ctable: answer %v %v %d conflicts with interval [%d,%d]",
+		e.Expr.X, e.Rel, e.Expr.C, e.Lo, e.Hi)
+}
+
+// Is makes errors.Is(err, ErrConflict) succeed for ConflictError values.
+func (e *ConflictError) Is(target error) bool { return target == ErrConflict }
 
 // Absorb records the crowd's answer rel for the expression's comparison
 // (left operand REL right operand). For constant comparisons the
 // variable's interval shrinks; for variable pairs the relation is stored.
-// It returns ErrConflict — leaving the knowledge unchanged — if the answer
-// would empty the variable's domain or contradict a stored relation.
+// It returns a *ConflictError (matching ErrConflict) — leaving the
+// knowledge unchanged and incrementing Conflicts — if the answer would
+// empty the variable's domain or contradict a stored relation.
 func (k *Knowledge) Absorb(e Expr, rel Rel) error {
 	if k.NoInference {
 		k.exprTruth[e] = exprTruthFromRel(e, rel)
@@ -97,14 +130,17 @@ func (k *Knowledge) Absorb(e Expr, rel Rel) error {
 			}
 		}
 		if nlo > nhi {
-			return ErrConflict
+			k.Conflicts++
+			return &ConflictError{Expr: e, Rel: rel, Lo: lo, Hi: hi}
 		}
 		k.lo[e.X], k.hi[e.X] = nlo, nhi
 		return nil
 	case VarGTVar:
 		key, oriented := pairKey(e.X, e.Y, rel)
 		if old, ok := k.rel[key]; ok && old != oriented {
-			return ErrConflict
+			k.Conflicts++
+			stored, _ := k.relation(e.X, e.Y)
+			return &ConflictError{Expr: e, Rel: rel, Stored: stored}
 		}
 		k.rel[key] = oriented
 		return nil

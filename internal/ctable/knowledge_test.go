@@ -1,6 +1,7 @@
 package ctable
 
 import (
+	"errors"
 	"testing"
 
 	"bayescrowd/internal/dataset"
@@ -50,8 +51,16 @@ func TestAbsorbConflictKeepsState(t *testing.T) {
 	if err := k.Absorb(LTConst(x, 3), LT); err != nil { // x in [0,2]
 		t.Fatal(err)
 	}
-	if err := k.Absorb(GTConst(x, 5), GT); err != ErrConflict {
+	err := k.Absorb(GTConst(x, 5), GT)
+	if !errors.Is(err, ErrConflict) {
 		t.Fatalf("conflicting answer returned %v, want ErrConflict", err)
+	}
+	var ce *ConflictError
+	if !errors.As(err, &ce) || ce.Expr != GTConst(x, 5) || ce.Rel != GT || ce.Lo != 0 || ce.Hi != 2 {
+		t.Fatalf("conflict detail = %+v, want expr/rel and surviving interval [0,2]", ce)
+	}
+	if k.Conflicts != 1 {
+		t.Fatalf("Conflicts = %d, want 1", k.Conflicts)
 	}
 	if lo, hi := k.Bounds(x); lo != 0 || hi != 2 {
 		t.Fatalf("Bounds after conflict = [%d,%d], want unchanged [0,2]", lo, hi)
@@ -73,8 +82,11 @@ func TestAbsorbVarVarAndFlip(t *testing.T) {
 		t.Fatalf("Eval(y>x) = %v,%v, want false,true", val, decided)
 	}
 	// Contradicting relation is rejected.
-	if err := k.Absorb(GTVar(y, x), GT); err != ErrConflict {
+	if err := k.Absorb(GTVar(y, x), GT); !errors.Is(err, ErrConflict) {
 		t.Fatalf("contradicting relation returned %v", err)
+	}
+	if k.Conflicts != 1 {
+		t.Fatalf("Conflicts = %d, want 1", k.Conflicts)
 	}
 	// Re-asserting the same fact in flipped orientation is fine.
 	if err := k.Absorb(GTVar(y, x), LT); err != nil {
