@@ -1,12 +1,18 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-smoke fuzz examples figures figures-paper ci fmt-check
+.PHONY: all build test race cover bench bench-smoke fuzz examples figures figures-paper ci fmt-check lint
 
 all: build test
 
 # ci mirrors .github/workflows/ci.yml exactly (plus the gofmt gate), so a
 # local `make ci` reproduces what the pipeline enforces.
-ci: fmt-check build test race
+ci: fmt-check lint build test race
+
+# lint runs the repo's own invariant analyzers (cmd/bayeslint): the
+# determinism, single-writer, error-handling, goroutine-hygiene, and
+# float-comparison contracts from DESIGN.md "Enforced invariants".
+lint:
+	go run ./cmd/bayeslint ./...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

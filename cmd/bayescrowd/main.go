@@ -118,7 +118,9 @@ func main() {
 			fail("%v", err)
 		}
 		net, err := bayescrowd.ReadBayesNet(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fail("%v", err)
 		}
@@ -159,14 +161,17 @@ func main() {
 		i int
 		p float64
 	}
+	// Gather in object-index order, not map-iteration order, so equal
+	// probabilities print identically on every run (the stable sort keeps
+	// index order among ties).
 	var maybes []cand
-	for i, p := range res.Probs {
-		if p <= 0.5 {
+	for i := range data.Objects {
+		if p, ok := res.Probs[i]; ok && p <= 0.5 {
 			maybes = append(maybes, cand{i, p})
 		}
 	}
 	if len(maybes) > 0 {
-		sort.Slice(maybes, func(a, b int) bool { return maybes[a].p > maybes[b].p })
+		sort.SliceStable(maybes, func(a, b int) bool { return maybes[a].p > maybes[b].p })
 		fmt.Println("\nstill uncertain (excluded, Pr <= 0.5):")
 		for k, c := range maybes {
 			if k == 5 {

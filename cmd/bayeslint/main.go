@@ -1,0 +1,108 @@
+// Command bayeslint runs the repo's invariant linter: five analyzers
+// enforcing the determinism, single-writer, error-handling, goroutine-
+// hygiene, and float-comparison contracts that PRs 1-3 introduced (see
+// DESIGN.md "Enforced invariants" and package internal/analysis).
+//
+// Usage:
+//
+//	bayeslint ./...                # lint every package (the CI gate)
+//	bayeslint ./internal/prob      # lint one package
+//	bayeslint -tests ./...         # include in-package _test.go files
+//	bayeslint -list                # list analyzers and exit
+//
+// Diagnostics print as file:line:col: message (analyzer). Suppress one
+// finding with a justified directive on the flagged line or the line
+// above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// Unused and malformed directives are diagnostics themselves, so the
+// clean-repo gate stays exact. Exit status: 0 clean, 1 findings,
+// 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bayescrowd/internal/analysis"
+)
+
+func main() {
+	var (
+		listFlag  = flag.Bool("list", false, "list analyzers and exit")
+		testsFlag = flag.Bool("tests", false, "also lint in-package _test.go files")
+		rootFlag  = flag.String("root", "", "module root (default: nearest go.mod at or above the working directory)")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root := *rootFlag
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+
+	prog, err := analysis.Load(root, patterns, *testsFlag)
+	if err != nil {
+		fail("load: %v", err)
+	}
+	diags, err := analysis.Run(prog, analysis.RepoConfig(prog.ModulePath), analysis.Analyzers())
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bayeslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dir[:max(0, lastSlash(dir))]
+		if parent == "" || parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' || s[i] == '\\' {
+			return i
+		}
+	}
+	return -1
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bayeslint: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -52,7 +52,10 @@ func main() {
 
 	switch {
 	case *allFlag:
-		bench.RunAll(os.Stdout, scale)
+		if err := bench.RunAll(os.Stdout, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(2)
+		}
 	case *expFlag != "":
 		if err := bench.Run(os.Stdout, *expFlag, scale); err != nil {
 			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)

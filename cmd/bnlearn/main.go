@@ -44,7 +44,9 @@ func main() {
 		fail("%v", err)
 	}
 	d, err := bayescrowd.ReadCSV(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fail("%v", err)
 	}
@@ -92,7 +94,7 @@ func writeTo(path string, write func(w io.Writer) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

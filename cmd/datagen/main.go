@@ -83,7 +83,7 @@ func writeCSV(path string, d *bayescrowd.Dataset) error {
 		return err
 	}
 	if err := bayescrowd.WriteCSV(f, d); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Config names the project-specific contracts the analyzers enforce.
+// Every entry refers to packages and types by import path so the same
+// analyzers can be pointed at the golden-file testdata packages.
+type Config struct {
+	// ModulePath is the module being linted (from go.mod).
+	ModulePath string
+
+	// DeterminismPkgs are the import paths whose code must be
+	// reproducible bit-for-bit: wall-clock reads and global math/rand
+	// are forbidden in them and in every module package they import.
+	DeterminismPkgs []string
+
+	// SingleWriterOwners are the packages allowed to mutate the guarded
+	// types (field writes, element stores, mutating methods).
+	SingleWriterOwners []string
+	// GuardedTypes are "pkgpath.TypeName" references whose mutation is
+	// single-writer-only.
+	GuardedTypes []string
+	// MutatingMethods are "pkgpath.TypeName.Method" references that
+	// mutate a guarded type and therefore may only be called by owners.
+	MutatingMethods []string
+
+	// MustCheck are "pkgpath.TypeName.Method" references whose error
+	// result must be handled explicitly — discarding it via the blank
+	// identifier is flagged too, because these calls return valid
+	// partial results alongside errors. Interface references cover every
+	// implementation (matched via types.Implements).
+	MustCheck []string
+
+	// PoolPkg is the worker-pool package: the only place naked go
+	// statements are allowed, and whose fan-out functions have their
+	// closure arguments checked for captured scratch.
+	PoolPkg string
+
+	// ScratchTypePattern matches named types that are per-call solver
+	// scratch; a pool closure capturing a value of such a type (rather
+	// than receiving per-worker scratch via the worker index) is flagged.
+	ScratchTypePattern *regexp.Regexp
+
+	// EpsilonHelperPattern matches function names inside which exact
+	// float comparison is the point (approximate-equality helpers).
+	EpsilonHelperPattern *regexp.Regexp
+}
+
+// RepoConfig is the bayescrowd contract set: the invariants PRs 1-3
+// introduced, in machine-checkable form (see DESIGN.md "Enforced
+// invariants" for the mapping).
+func RepoConfig(modulePath string) *Config {
+	p := func(rel string) string { return modulePath + "/" + rel }
+	return &Config{
+		ModulePath: modulePath,
+		DeterminismPkgs: []string{
+			p("internal/core"),
+			p("internal/prob"),
+			p("internal/ctable"),
+			p("internal/crowd"),
+			p("internal/parallel"),
+		},
+		SingleWriterOwners: []string{
+			p("internal/core"),
+			p("internal/prob"),
+		},
+		GuardedTypes: []string{
+			p("internal/prob") + ".Evaluator",
+			p("internal/prob") + ".ComponentCache",
+		},
+		MutatingMethods: []string{
+			p("internal/prob") + ".ComponentCache.Invalidate",
+		},
+		MustCheck: []string{
+			p("internal/crowd") + ".Platform.Post",
+			p("internal/ctable") + ".Knowledge.Absorb",
+		},
+		PoolPkg:              p("internal/parallel"),
+		ScratchTypePattern:   regexp.MustCompile(`(?i)(solver|scratch)`),
+		EpsilonHelperPattern: regexp.MustCompile(`(?i)(approx|almost|close|within|eps)`),
+	}
+}
+
+// splitTypeRef splits "pkgpath.TypeName" into its package path and type
+// name (the last dot separates them; package paths may contain dots in
+// their host part but never after the final slash).
+func splitTypeRef(ref string) (pkgPath, name string) {
+	i := strings.LastIndex(ref, ".")
+	if i < 0 {
+		return "", ref
+	}
+	return ref[:i], ref[i+1:]
+}
+
+// splitMethodRef splits "pkgpath.TypeName.Method" into package path,
+// type name and method name.
+func splitMethodRef(ref string) (pkgPath, typeName, method string) {
+	i := strings.LastIndex(ref, ".")
+	if i < 0 {
+		return "", "", ref
+	}
+	pkgPath, typeName = splitTypeRef(ref[:i])
+	return pkgPath, typeName, ref[i+1:]
+}

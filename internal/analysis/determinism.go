@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the repo's reproducibility contract:
+// worker-pool runs are bit-identical across worker counts and every
+// faulty run replays from its seed. Inside the deterministic packages
+// (and every module package they import) wall-clock reads and the
+// global, OS-seeded math/rand are forbidden; everywhere in the module,
+// rand seeds derived from the clock are forbidden and map iteration
+// must not leak its nondeterministic order into slices or output.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock/global-rand in deterministic packages and map-order leaks into outputs",
+	Run:  runDeterminism,
+}
+
+// seededConstructors are the math/rand entry points that take an
+// explicit seed or source and therefore stay reproducible.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	inRestricted := pass.restricted[pass.Pkg.Path]
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			if inRestricted {
+				if isPkgFunc(fn, "time", "Now") || isPkgFunc(fn, "time", "Sleep") {
+					pass.Reportf(call.Pos(),
+						"call to time.%s in deterministic package %s: results must be bit-identical across runs (keep wall-clock out, or justify with lint:ignore)",
+						fn.Name(), pass.Pkg.Types.Name())
+				}
+				if isGlobalRand(fn) {
+					pass.Reportf(call.Pos(),
+						"call to global math/rand %s in deterministic package %s: the global generator is OS-seeded; thread a seeded *rand.Rand instead",
+						fn.Name(), pass.Pkg.Types.Name())
+				}
+			}
+			if fn.Pkg() != nil && (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") &&
+				seededConstructors[fn.Name()] {
+				for _, arg := range call.Args {
+					if pos, found := findTimeCall(info, arg); found {
+						pass.Reportf(pos,
+							"rand seed derived from time.Now: runs cannot be reproduced; seed from configuration (a flag or constant) instead")
+					}
+				}
+			}
+			return true
+		})
+		enclosingFuncs(file, func(_ string, body *ast.BlockStmt) {
+			checkMapRanges(pass, body)
+		})
+	}
+}
+
+// isGlobalRand reports whether fn is a package-level math/rand function
+// using the implicit global generator (everything except the seeded
+// constructors and pure helpers like Int63nForTest).
+func isGlobalRand(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false // methods on *rand.Rand are caller-seeded
+	}
+	return !seededConstructors[fn.Name()]
+}
+
+// findTimeCall reports the position of a time.Now call anywhere inside
+// the expression (e.g. rand.NewSource(time.Now().UnixNano())).
+func findTimeCall(info *types.Info, e ast.Expr) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, call); isPkgFunc(fn, "time", "Now") {
+			pos, found = call.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+// checkMapRanges flags range statements over maps whose body leaks the
+// iteration order: printing inside the loop, or appending to a slice
+// that is never brought into a provably total order afterwards. Nested
+// function literals are handled by their own enclosingFuncs visit.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var ranges []*ast.RangeStmt
+	shallowInspect(body, func(n ast.Node) bool {
+		if rng, ok := n.(*ast.RangeStmt); ok {
+			if tv, ok := info.Types[rng.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, rng)
+				}
+			}
+		}
+		return true
+	})
+	reported := map[token.Pos]bool{}
+	for _, rng := range ranges {
+		checkMapRange(pass, body, rng, reported)
+	}
+}
+
+// checkMapRange reports order leaks of one map range; reported dedups
+// sites shared between nested map ranges.
+func checkMapRange(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, reported map[token.Pos]bool) {
+	info := pass.Pkg.Info
+	type appendTarget struct {
+		obj  types.Object
+		name string
+		pos  token.Pos
+	}
+	var appends []appendTarget
+	seen := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "append") || i >= len(stmt.Lhs) {
+					continue
+				}
+				obj := lhsObject(info, stmt.Lhs[i])
+				if obj == nil || seen[obj] {
+					continue
+				}
+				seen[obj] = true
+				appends = append(appends, appendTarget{obj: obj, name: obj.Name(), pos: call.Pos()})
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, stmt); isPrintCall(fn) && !reported[stmt.Pos()] {
+				reported[stmt.Pos()] = true
+				pass.Reportf(stmt.Pos(),
+					"map iteration writes output in nondeterministic map order; gather and sort first")
+				return false
+			}
+		}
+		return true
+	})
+	for _, tgt := range appends {
+		if reported[tgt.pos] {
+			continue
+		}
+		sortName, ok := subsequentSort(info, body, rng.End(), tgt.obj)
+		switch {
+		case !ok:
+			reported[tgt.pos] = true
+			pass.Reportf(tgt.pos,
+				"slice %s is gathered in nondeterministic map-iteration order and never sorted afterwards", tgt.name)
+		case sortName != "":
+			reported[tgt.pos] = true
+			pass.Reportf(tgt.pos,
+				"slice %s is gathered in map-iteration order and sorted with %s, whose comparator the linter cannot prove total — ties keep map order; use a total-order sort (sort.Ints/Strings/Float64s, slices.Sort) or gather in a deterministic order",
+				tgt.name, sortName)
+		}
+	}
+}
+
+// subsequentSort looks for a sort call after pos that mentions obj.
+// ok=false means no sort at all; a non-empty name means the sort found
+// cannot be proven a total order (comparator-based).
+func subsequentSort(info *types.Info, body *ast.BlockStmt, pos token.Pos, obj types.Object) (nonTotal string, ok bool) {
+	totalSorts := map[string]bool{
+		"sort.Ints": true, "sort.Strings": true, "sort.Float64s": true,
+		"slices.Sort": true,
+	}
+	comparatorSorts := map[string]bool{
+		"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+		"slices.SortFunc": true, "slices.SortStableFunc": true,
+	}
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, okCall := n.(*ast.CallExpr)
+		if !okCall || call.Pos() < pos {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		key := fn.Pkg().Name() + "." + fn.Name()
+		if !totalSorts[key] && !comparatorSorts[key] {
+			return true
+		}
+		if !mentionsObject(info, call, obj) {
+			return true
+		}
+		if totalSorts[key] {
+			found, ok = "", true
+			return false
+		}
+		if !ok {
+			found, ok = key, true
+		}
+		return true
+	})
+	return found, ok
+}
+
+// mentionsObject reports whether any identifier in the call's arguments
+// resolves to obj.
+func mentionsObject(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	for _, arg := range call.Args {
+		hit := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				hit = true
+				return false
+			}
+			return true
+		})
+		if hit {
+			return true
+		}
+	}
+	return false
+}
+
+// lhsObject resolves the variable an assignment writes (identifier or
+// field selector).
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
+	switch lhs := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[lhs]; obj != nil {
+			return obj
+		}
+		return info.Defs[lhs]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[lhs]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[lhs.Sel]
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// isPrintCall reports whether fn writes program output (the fmt print
+// family, io.WriteString, or the print/println builtins are handled by
+// the caller via isBuiltin — builtins have no *types.Func).
+func isPrintCall(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	case "io":
+		return fn.Name() == "WriteString"
+	}
+	return false
+}
+
+// shallowInspect walks the node without descending into nested function
+// literals (their bodies are separate analysis scopes).
+func shallowInspect(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// Run executes the analyzers over every root package of the program and
+// returns the surviving diagnostics (after //lint:ignore filtering),
+// sorted by position. Packages with type errors fail loudly: linting an
+// uncompilable package would silently skip its invariants.
+func Run(prog *Program, cfg *Config, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	restricted := restrictedClosure(prog, cfg)
+
+	var all []Diagnostic
+	for _, pkg := range prog.Roots {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("package %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Prog:       prog,
+				Pkg:        pkg,
+				Cfg:        cfg,
+				restricted: restricted,
+				diags:      &diags,
+			}
+			a.Run(pass)
+		}
+		dirs := parseDirectives(prog, pkg, known)
+		all = append(all, applyDirectives(diags, dirs)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	// One finding can arrive through two rule paths (nested seeded rand
+	// constructors share one time.Now argument); identical entries
+	// collapse so each defect reads once.
+	deduped := all[:0]
+	for i, d := range all {
+		if i > 0 && d == all[i-1] {
+			continue
+		}
+		deduped = append(deduped, d)
+	}
+	return deduped, nil
+}
+
+// restrictedClosure computes the effective determinism scope: the
+// configured packages plus every module package they transitively
+// import. Code in an imported package runs on behalf of the restricted
+// callers, so its clock and randomness reads are just as reachable.
+func restrictedClosure(prog *Program, cfg *Config) map[string]bool {
+	restricted := map[string]bool{}
+	var visit func(path string)
+	visit = func(path string) {
+		if restricted[path] {
+			return
+		}
+		restricted[path] = true
+		pkg, _ := prog.load(path)
+		if pkg == nil || pkg.Types == nil {
+			return
+		}
+		for _, imp := range pkg.Types.Imports() {
+			if isModulePath(prog, imp.Path()) {
+				visit(imp.Path())
+			}
+		}
+	}
+	for _, path := range cfg.DeterminismPkgs {
+		visit(path)
+	}
+	return restricted
+}
+
+func isModulePath(prog *Program, path string) bool {
+	return path == prog.ModulePath || len(path) > len(prog.ModulePath) && path[:len(prog.ModulePath)+1] == prog.ModulePath+"/"
+}
+
+// guardedNamed reports whether t (after stripping pointers) is one of
+// the configured single-writer guarded types; it returns the matched
+// "pkg.Type" display name.
+func (p *Pass) guardedNamed(t types.Type) (string, bool) {
+	named := namedOf(t)
+	if named == nil {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	ref := obj.Pkg().Path() + "." + obj.Name()
+	for _, g := range p.Cfg.GuardedTypes {
+		if g == ref {
+			return obj.Pkg().Name() + "." + obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// namedOf unwraps pointers and aliases down to a named type, nil when
+// the type is unnamed.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropAnalyzer flags discarded error results. Two tiers:
+//
+//   - Any call whose error result is dropped on the floor as a bare
+//     expression statement is flagged (the fmt print family excepted —
+//     its errors surface through the writer). Deferred calls are
+//     exempt, matching the `defer f.Close()` idiom on read paths.
+//   - Must-check calls (crowd.Platform.Post and every implementation,
+//     ctable.Knowledge.Absorb) are flagged even when the error is
+//     explicitly blanked with `_`: their contract returns valid partial
+//     results *alongside* the error (partial answer sets, conflict
+//     errors), so discarding the error silently drops round failures
+//     and knowledge conflicts the caller is required to book.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded error results; Platform.Post/Knowledge.Absorb errors are must-check even via _",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				errs := resultErrorIndexes(info, call)
+				if len(errs) == 0 {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if isPrintCall(fn) || neverFails(fn) {
+					return true
+				}
+				if must, name := mustCheckCall(pass, info, call); must {
+					pass.Reportf(call.Pos(),
+						"error from must-check %s discarded: it returns valid partial results alongside errors (round failures, knowledge conflicts) that the caller must book", name)
+				} else {
+					pass.Reportf(call.Pos(),
+						"result of %s contains an error that is silently discarded; handle it or discard explicitly with _ =", calleeName(fn, call))
+				}
+			case *ast.AssignStmt:
+				checkBlankedMustCheck(pass, info, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankedMustCheck flags `res, _ := p.Post(...)`-style blanking of
+// a must-check call's error result.
+func checkBlankedMustCheck(pass *Pass, info *types.Info, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	must, name := mustCheckCall(pass, info, call)
+	if !must {
+		return
+	}
+	for _, i := range resultErrorIndexes(info, call) {
+		if i < len(stmt.Lhs) {
+			if id, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(id.Pos(),
+					"error from must-check %s blanked with _: partial results arrive alongside errors, so the error must be inspected", name)
+			}
+		}
+	}
+}
+
+// mustCheckCall reports whether the call resolves to a configured
+// must-check method — directly, or through any type implementing a
+// configured interface method (so *Simulated.Post matches
+// Platform.Post).
+func mustCheckCall(pass *Pass, info *types.Info, call *ast.CallExpr) (bool, string) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false, ""
+	}
+	named := recvNamed(fn)
+	var recvType types.Type
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recvType = sig.Recv().Type()
+	}
+	for _, ref := range pass.Cfg.MustCheck {
+		pkgPath, typeName, method := splitMethodRef(ref)
+		if fn.Name() != method {
+			continue
+		}
+		display := typeName + "." + method
+		// Direct match on the declaring type.
+		if named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == typeName {
+			return true, display
+		}
+		// Interface contract: the receiver implements the configured
+		// interface (and the method is that interface's).
+		obj := pass.Prog.LookupType(pkgPath, typeName)
+		if obj == nil {
+			continue
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok || recvType == nil {
+			continue
+		}
+		if types.Implements(recvType, iface) || types.Implements(types.NewPointer(recvType), iface) {
+			return true, display
+		}
+	}
+	return false, ""
+}
+
+// neverFails reports whether the callee is a method on a type whose
+// error results are documented to always be nil (strings.Builder and
+// bytes.Buffer write methods), so dropping them is idiomatic, not a bug.
+func neverFails(fn *types.Func) bool {
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// calleeName renders the callee for a message.
+func calleeName(fn *types.Func, call *ast.CallExpr) string {
+	if fn == nil {
+		return "call"
+	}
+	if named := recvNamed(fn); named != nil {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

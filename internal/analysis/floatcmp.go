@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags == and != between floating-point values.
+// Probabilities and entropies accumulate rounding differently along
+// different (but mathematically equivalent) evaluation paths, so exact
+// equality silently encodes "these two code paths are bit-identical" —
+// a claim only the equivalence tests may make. Two escapes remain:
+//
+//   - comparison against the exact literals 0 and 1 (probability-mass
+//     sentinels: distributions store exact zeros for impossible values
+//     and decided conditions return exact 0/1), and
+//   - approved epsilon helpers (function names matching the configured
+//     pattern, e.g. approxEqual), where exact comparison is the point.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on float64s outside epsilon helpers and exact 0/1 sentinel tests",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Cfg.EpsilonHelperPattern != nil && pass.Cfg.EpsilonHelperPattern.MatchString(fd.Name.Name) {
+				continue // the helper is where exact comparison lives
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(info, be.X) || !isFloat(info, be.Y) {
+					return true
+				}
+				if isSentinelConst(info, be.X) || isSentinelConst(info, be.Y) {
+					return true
+				}
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison: rounding makes exact equality fragile for probabilities/entropies; compare through an epsilon helper (or against the exact sentinels 0/1)", be.Op)
+				return true
+			})
+		}
+	}
+}
+
+// isFloat reports whether the expression's type is a floating-point
+// kind (after unwrapping named types).
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isSentinelConst reports whether the expression is a compile-time
+// constant exactly equal to 0 or 1 — the probability-mass sentinels.
+func isSentinelConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float && v.Kind() != constant.Int {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0 || f == 1
+}

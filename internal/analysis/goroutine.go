@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineAnalyzer enforces the repo's concurrency topology: all
+// fan-out goes through internal/parallel's index-addressed pool.
+//
+//   - Naked `go` statements outside the pool package are flagged —
+//     ad-hoc goroutines bypass the pool's happens-before join, the
+//     panic replay, and the bit-identical merge order.
+//   - `wg.Add` inside the goroutine it accounts for is flagged: the
+//     spawned goroutine may not have run when Wait executes, so Wait
+//     can return early (the Add must happen-before the go statement).
+//   - Closures submitted to the pool must not capture solver scratch
+//     declared outside: scratch is per-call or per-worker (handed out
+//     via the worker index); a shared captured scratch is a write-write
+//     race at any worker count above one.
+var GoroutineAnalyzer = &Analyzer{
+	Name: "goroutine",
+	Doc:  "flag naked go statements outside the pool, wg.Add inside the spawned goroutine, and pool closures capturing shared scratch",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(pass *Pass) {
+	info := pass.Pkg.Info
+	inPool := pass.Pkg.Path == pass.Cfg.PoolPkg
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.GoStmt:
+				if !inPool {
+					pass.Reportf(stmt.Pos(),
+						"naked go statement outside the worker pool (%s): fan out through parallel.For so joins, panics and merge order stay deterministic", pass.Cfg.PoolPkg)
+				}
+				checkAddInsideGoroutine(pass, info, stmt)
+			case *ast.CallExpr:
+				checkPoolClosure(pass, info, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// checkAddInsideGoroutine flags sync.WaitGroup.Add calls inside the
+// function the go statement spawns.
+func checkAddInsideGoroutine(pass *Pass, info *types.Info, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Name() != "Add" {
+			return true
+		}
+		if named := recvNamed(fn); named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup" {
+			pass.Reportf(call.Pos(),
+				"wg.Add inside the spawned goroutine: Wait can return before this goroutine runs; call Add before the go statement")
+		}
+		return true
+	})
+}
+
+// checkPoolClosure flags function literals passed to the pool package's
+// fan-out functions when they capture a variable of a scratch type from
+// the enclosing scope instead of taking per-worker scratch by index.
+func checkPoolClosure(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Cfg.PoolPkg {
+		return
+	}
+	if pass.Pkg.Path == pass.Cfg.PoolPkg {
+		return // the pool's own internals and tests manage their scratch
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		for _, id := range freeIdents(info, lit) {
+			obj := info.Uses[id]
+			named := namedOf(obj.Type())
+			if named == nil {
+				continue
+			}
+			if pass.Cfg.ScratchTypePattern != nil && pass.Cfg.ScratchTypePattern.MatchString(named.Obj().Name()) {
+				pass.Reportf(id.Pos(),
+					"closure submitted to %s.%s captures shared scratch %q (type %s): every worker would share one mutable scratch — index per-worker scratch by the worker argument instead",
+					fn.Pkg().Name(), fn.Name(), id.Name, named.Obj().Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix starts a suppression directive:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive suppresses matching diagnostics on its own line or on
+// the line directly below it (so it can trail the flagged statement or
+// sit on its own line above it). The reason is mandatory: a suppression
+// without a recorded justification is a diagnostic itself.
+const ignorePrefix = "//lint:ignore "
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	used      bool
+	malformed string // non-empty: why the directive is invalid
+}
+
+// parseDirectives extracts every //lint:ignore directive from a
+// package's comments, keyed by file name.
+func parseDirectives(prog *Program, pkg *Package, known map[string]bool) map[string][]*directive {
+	out := map[string][]*directive{}
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				rest, ok := strings.CutPrefix(c.Text, strings.TrimSuffix(ignorePrefix, " "))
+				if !ok {
+					continue
+				}
+				d := &directive{pos: prog.Fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.malformed = "missing analyzer name and reason"
+				case len(fields) == 1:
+					d.malformed = "missing reason (write //lint:ignore <analyzer> <reason>)"
+				default:
+					d.analyzers = strings.Split(fields[0], ",")
+					d.reason = strings.Join(fields[1:], " ")
+					for _, a := range d.analyzers {
+						if !known[a] {
+							d.malformed = "unknown analyzer " + quote(a)
+						}
+					}
+				}
+				out[d.pos.Filename] = append(out[d.pos.Filename], d)
+			}
+		}
+	}
+	return out
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+// matches reports whether the directive suppresses a diagnostic from
+// the named analyzer at the given position.
+func (d *directive) matches(diag Diagnostic) bool {
+	if d.malformed != "" || diag.Pos.Filename != d.pos.Filename {
+		return false
+	}
+	if diag.Pos.Line != d.pos.Line && diag.Pos.Line != d.pos.Line+1 {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == diag.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// applyDirectives filters diags through the package's directives and
+// appends one diagnostic per malformed or unused directive, keeping the
+// suppression set exact: every directive must justify a live finding.
+func applyDirectives(diags []Diagnostic, dirs map[string][]*directive) []Diagnostic {
+	var kept []Diagnostic
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range dirs[diag.Pos.Filename] {
+			if d.matches(diag) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	files := make([]string, 0, len(dirs))
+	for f := range dirs {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, d := range dirs[f] {
+			switch {
+			case d.malformed != "":
+				kept = append(kept, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "bayeslint",
+					Message:  "malformed lint:ignore directive: " + d.malformed,
+				})
+			case !d.used:
+				kept = append(kept, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "bayeslint",
+					Message:  "unused lint:ignore directive (" + strings.Join(d.analyzers, ",") + "): delete it or it will mask a future regression",
+				})
+			}
+		}
+	}
+	return kept
+}

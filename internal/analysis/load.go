@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked module package.
+type Package struct {
+	// Path is the import path; Dir the directory it was loaded from.
+	Path string
+	Dir  string
+	// Files are the parsed sources (comments retained for directives).
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects every type-checking error; analyzers only run
+	// on error-free packages.
+	TypeErrors []error
+	// Imports lists the module-internal packages this one imports.
+	Imports []*Package
+}
+
+// Program is one load of module packages sharing a FileSet and a type
+// universe, so type identities compare across packages.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleRoot string
+	// Roots are the packages named by the load patterns — the ones
+	// analyzers run on. Dependencies are loaded (and type-checked) but
+	// not linted.
+	Roots []*Package
+
+	byPath       map[string]*Package
+	loading      map[string]bool
+	std          types.Importer
+	includeTests bool
+}
+
+// Load parses and type-checks the packages matched by patterns under the
+// module rooted at root. Patterns follow the go tool's shape: "./..."
+// for every package (testdata and hidden directories excluded), or a
+// directory path like "./internal/prob". Directories under testdata can
+// be named explicitly (the golden tests do), they are only skipped
+// during "..." expansion.
+func Load(root string, patterns []string, includeTests bool) (*Program, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(absRoot)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	prog := &Program{
+		Fset:         fset,
+		ModulePath:   modPath,
+		ModuleRoot:   absRoot,
+		byPath:       map[string]*Package{},
+		loading:      map[string]bool{},
+		std:          importer.ForCompiler(fset, "source", nil),
+		includeTests: includeTests,
+	}
+
+	dirs, err := prog.expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	for _, dir := range dirs {
+		pkg, err := prog.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Roots = append(prog.Roots, pkg)
+		}
+	}
+	return prog, nil
+}
+
+// modulePath reads the module declaration from go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module declaration in %s/go.mod", root)
+}
+
+// expandPatterns resolves load patterns to package directories.
+func (p *Program) expandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := p.walkPackages()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range all {
+				add(d)
+			}
+		default:
+			dir := pat
+			if rest, ok := strings.CutPrefix(pat, p.ModulePath); ok {
+				dir = "." + rest
+			}
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(p.ModuleRoot, dir)
+			}
+			st, err := os.Stat(dir)
+			if err != nil || !st.IsDir() {
+				return nil, fmt.Errorf("pattern %q: not a package directory", pat)
+			}
+			add(dir)
+		}
+	}
+	return dirs, nil
+}
+
+// walkPackages finds every directory under the module root holding Go
+// sources, skipping testdata, hidden, and underscore-prefixed
+// directories (matching the go tool's "..." expansion).
+func (p *Program) walkPackages() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(p.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != p.ModuleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	// WalkDir visits files of one directory contiguously, but guard
+	// against duplicates anyway.
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// loadDir loads the package in dir (nil if the directory holds no
+// eligible Go files).
+func (p *Program) loadDir(dir string) (*Package, error) {
+	rel, err := filepath.Rel(p.ModuleRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := p.ModulePath
+	if rel != "." {
+		path = p.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return p.load(path)
+}
+
+// load returns the package for an import path inside the module,
+// parsing and type-checking it (and its module dependencies,
+// recursively) on first use.
+func (p *Program) load(path string) (*Package, error) {
+	if pkg, ok := p.byPath[path]; ok {
+		return pkg, nil
+	}
+	if p.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	p.loading[path] = true
+	defer delete(p.loading, path)
+
+	dir := p.ModuleRoot
+	if rest, ok := strings.CutPrefix(path, p.ModulePath+"/"); ok {
+		dir = filepath.Join(p.ModuleRoot, filepath.FromSlash(rest))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("package %s: %w", path, err)
+	}
+
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !p.includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: %w", path, err)
+		}
+		if ignoredByBuildTag(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	// External test packages (package foo_test) cannot be type-checked
+	// together with the package under test; keep the in-package files.
+	base := ""
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			base = f.Name.Name
+			break
+		}
+	}
+	if base == "" {
+		return nil, nil // external-test-only directory
+	}
+	inPkg := files[:0]
+	for _, f := range files {
+		if f.Name.Name == base {
+			inPkg = append(inPkg, f)
+		}
+	}
+	files = inPkg
+
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: (*progImporter)(p),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, p.Fset, files, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	for _, imp := range tpkg.Imports() {
+		if dep, ok := p.byPath[imp.Path()]; ok {
+			pkg.Imports = append(pkg.Imports, dep)
+		}
+	}
+	p.byPath[path] = pkg
+	return pkg, nil
+}
+
+// progImporter adapts Program to types.Importer: module-internal paths
+// load recursively, everything else falls through to the compiler's
+// source importer (stdlib).
+type progImporter Program
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	p := (*Program)(pi)
+	if path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/") {
+		pkg, err := p.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("no Go files in %s", path)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("package %s has type errors: %v", path, pkg.TypeErrors[0])
+		}
+		return pkg.Types, nil
+	}
+	return p.std.Import(path)
+}
+
+// ignoredByBuildTag reports whether the file opts out of the build via a
+// constraint mentioning "ignore" (the go tool's convention for helper
+// programs).
+func ignoredByBuildTag(f *ast.File) bool {
+	for _, g := range f.Comments {
+		if g.Pos() > f.Package {
+			break
+		}
+		for _, c := range g.List {
+			if strings.HasPrefix(c.Text, "//go:build") && strings.Contains(c.Text, "ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PackageByPath returns a loaded package (nil when absent); analyzers
+// use it to resolve contract types from other packages.
+func (p *Program) PackageByPath(path string) *Package { return p.byPath[path] }
+
+// LookupType resolves pkgpath.TypeName to its types.Object within the
+// program's universe, loading the package on demand so contract types
+// resolve even when no root imports them. Returns nil when unknown.
+func (p *Program) LookupType(pkgPath, name string) types.Object {
+	pkg, ok := p.byPath[pkgPath]
+	if !ok && (pkgPath == p.ModulePath || strings.HasPrefix(pkgPath, p.ModulePath+"/")) {
+		pkg, _ = p.load(pkgPath)
+	}
+	if pkg == nil || pkg.Types == nil {
+		return nil
+	}
+	return pkg.Types.Scope().Lookup(name)
+}

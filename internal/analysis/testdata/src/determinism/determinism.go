@@ -1,0 +1,69 @@
+// Package determinism is golden input for the determinism analyzer; the
+// test config lists it as a deterministic package. `// want` comments
+// carry the expected diagnostics.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() {
+	_ = time.Now()               // want `call to time\.Now in deterministic package determinism`
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep in deterministic package determinism`
+	_ = time.Since(time.Time{})  // ok: a duration from an explicit instant is not a clock read
+}
+
+func globalRand() int {
+	return rand.Intn(5) // want `call to global math/rand Intn in deterministic package determinism`
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: explicit, reproducible seed
+}
+
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `call to time\.Now in deterministic package determinism` `rand seed derived from time\.Now`
+}
+
+func gatherNoSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `slice keys is gathered in nondeterministic map-iteration order and never sorted`
+	}
+	return keys
+}
+
+func gatherTotalSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // ok: a total-order sort follows
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func gatherComparatorSort(m map[int]string) []string {
+	var vals []string
+	for _, v := range m {
+		vals = append(vals, v) // want `slice vals is gathered in map-iteration order and sorted with sort\.Slice`
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func printInLoop(m map[int]string) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration writes output in nondeterministic map order`
+	}
+}
+
+func countOnly(m map[int]string) int {
+	n := 0
+	for range m {
+		n++ // ok: a count is order-independent
+	}
+	return n
+}

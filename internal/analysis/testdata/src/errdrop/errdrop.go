@@ -1,0 +1,40 @@
+// Package errdrop is golden input for the errdrop analyzer.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	guarded "bayescrowd/internal/analysis/testdata/src/guarded"
+)
+
+func work() error { return errors.New("boom") }
+
+func drops() {
+	work()            // want `result of errdrop\.work contains an error that is silently discarded`
+	_ = work()        // ok: explicit discard of an ordinary error
+	fmt.Println("hi") // ok: the print family is exempt
+	var b strings.Builder
+	b.WriteString("x") // ok: Builder writes are documented to never fail
+	_ = b.String()
+}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func deferred() {
+	var c closer
+	defer c.Close() // ok: deferred closes follow the read-path idiom
+}
+
+func mustCheck(p guarded.Platform, s guarded.Sim) {
+	p.Post(nil)                // want `error from must-check Platform\.Post discarded`
+	s.Post(nil)                // want `error from must-check Platform\.Post discarded`
+	res, _ := s.Post([]int{1}) // want `error from must-check Platform\.Post blanked with _`
+	_ = res
+	if got, err := p.Post(nil); err == nil { // ok: the error is inspected
+		_ = got
+	}
+}

@@ -1,0 +1,32 @@
+// Package floatcmp is golden input for the float-comparison analyzer.
+package floatcmp
+
+func bad(a, b float64) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	return a != b // want `floating-point != comparison`
+}
+
+func sentinels(p float64) bool {
+	if p == 0 { // ok: exact zero sentinel
+		return false
+	}
+	return p == 1 // ok: exact one sentinel
+}
+
+func halfCmp(p float64) bool {
+	return p == 0.5 // want `floating-point == comparison`
+}
+
+func approxEqual(a, b float64) bool {
+	return a == b // ok: inside an approved epsilon helper
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: integers compare exactly
+}
+
+func narrow(x, y float32) bool {
+	return x == y // want `floating-point == comparison`
+}

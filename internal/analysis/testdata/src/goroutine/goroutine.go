@@ -1,0 +1,35 @@
+// Package goroutine is golden input for the goroutine-hygiene analyzer;
+// the test config points PoolPkg at the sibling pool package.
+package goroutine
+
+import (
+	"sync"
+
+	pool "bayescrowd/internal/analysis/testdata/src/pool"
+)
+
+// Solver matches the configured scratch-type pattern.
+type Solver struct{ buf []int }
+
+func (s *Solver) Use(i int) { s.buf = append(s.buf, i) }
+
+func naked() {
+	var wg sync.WaitGroup
+	go func() { // want `naked go statement outside the worker pool`
+		wg.Add(1) // want `wg\.Add inside the spawned goroutine`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func sharedScratch(s *Solver) {
+	pool.For(2, 10, func(w, i int) {
+		s.Use(i) // want `captures shared scratch "s" \(type Solver\)`
+	})
+}
+
+func perWorkerScratch(scratch []*Solver) {
+	pool.For(2, 10, func(w, i int) {
+		scratch[w].Use(i) // ok: per-worker scratch handed out by worker index
+	})
+}

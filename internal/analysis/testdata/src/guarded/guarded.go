@@ -1,0 +1,36 @@
+// Package guarded supplies the shared types the singlewriter and
+// errdrop golden packages exercise: it plays the role internal/prob and
+// internal/crowd play in the real module, and it is configured as the
+// single-writer owner, so its own mutations are never flagged.
+package guarded
+
+// Cache is a configured guarded type; Invalidate is its configured
+// mutating method.
+type Cache struct {
+	N int
+}
+
+func (c *Cache) Invalidate(vars ...int) { c.N += len(vars) }
+
+// Evaluator is a configured guarded type.
+type Evaluator struct {
+	Cache *Cache
+	Dists map[int][]float64
+}
+
+// Reset mutates from inside the owner package: legal.
+func (ev *Evaluator) Reset() {
+	ev.Cache = &Cache{}
+	ev.Cache.Invalidate(1)
+}
+
+// Platform is the configured must-check interface: Post returns valid
+// partial results alongside its error.
+type Platform interface {
+	Post(tasks []int) ([]int, error)
+}
+
+// Sim implements Platform, so its Post inherits the must-check rule.
+type Sim struct{}
+
+func (Sim) Post(tasks []int) ([]int, error) { return tasks, nil }

@@ -1,0 +1,21 @@
+// Package ignore is golden input for the //lint:ignore directive
+// machinery; the test config lists it as a deterministic package so
+// time.Now trips the determinism analyzer.
+package ignore
+
+import "time"
+
+func suppressedAbove() {
+	//lint:ignore determinism golden test pins the line-above suppression path
+	_ = time.Now() // ok: suppressed by the directive above
+}
+
+func suppressedTrailing() {
+	_ = time.Now() //lint:ignore determinism golden test pins the same-line suppression path
+}
+
+//lint:ignore determinism nothing below trips this analyzer // want `unused lint:ignore directive`
+func unusedDirective() {}
+
+//lint:ignore nosuchanalyzer bogus suppression target // want `malformed lint:ignore directive: unknown analyzer "nosuchanalyzer"`
+func unknownAnalyzer() {}

@@ -1,0 +1,10 @@
+// Package pool stands in for internal/parallel in the goroutine golden
+// config; the tests only need its fan-out signature.
+package pool
+
+// For runs f sequentially as worker 0.
+func For(workers, n int, f func(worker, i int)) {
+	for i := 0; i < n; i++ {
+		f(0, i)
+	}
+}

@@ -1,0 +1,20 @@
+// Package singlewriter is golden input for the singlewriter analyzer:
+// it is not an owner of the guarded types it touches.
+package singlewriter
+
+import guarded "bayescrowd/internal/analysis/testdata/src/guarded"
+
+func mutate(ev *guarded.Evaluator, c *guarded.Cache) {
+	ev.Cache = nil        // want `write to guarded\.Evaluator\.Cache outside its single-writer owners`
+	ev.Dists[3] = nil     // want `write to guarded\.Evaluator\.Dists outside its single-writer owners`
+	c.N++                 // want `write to guarded\.Cache\.N outside its single-writer owners`
+	c.Invalidate(1, 2)    // want `call to mutating method guarded\.Cache\.Invalidate outside its single-writer owners`
+	ev.Cache.Invalidate() // want `call to mutating method guarded\.Cache\.Invalidate outside its single-writer owners`
+}
+
+func read(ev *guarded.Evaluator) int {
+	if ev.Cache != nil { // ok: reads are unrestricted
+		return len(ev.Dists)
+	}
+	return 0
+}

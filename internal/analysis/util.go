@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call expression invokes,
+// nil for calls through function-typed variables, built-ins, and
+// conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call: pkg.Func.
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name.
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name &&
+		f.Type().(*types.Signature).Recv() == nil
+}
+
+// recvNamed returns the named type of a method's receiver (pointers
+// stripped), nil for package-level functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// resultErrorIndexes returns the positions of error-typed results in a
+// call's result tuple (empty when none).
+func resultErrorIndexes(info *types.Info, call *ast.CallExpr) []int {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	var idx []int
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				idx = append(idx, i)
+			}
+		}
+	default:
+		if types.Identical(tv.Type, errorType) {
+			idx = append(idx, 0)
+		}
+	}
+	return idx
+}
+
+// enclosingFuncs walks the file and calls fn for every function
+// declaration and function literal with its body.
+func enclosingFuncs(f *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Name.Name, d.Body)
+			}
+		case *ast.FuncLit:
+			fn("", d.Body)
+		}
+		return true
+	})
+}
+
+// freeIdents reports every identifier used inside the function literal
+// that resolves to a variable declared outside it (a captured, free
+// variable). Parameters and locals of nested literals are excluded.
+func freeIdents(info *types.Info, lit *ast.FuncLit) []*ast.Ident {
+	var free []*ast.Ident
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			free = append(free, id)
+		}
+		return true
+	})
+	return free
+}

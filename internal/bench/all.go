@@ -49,28 +49,45 @@ var Experiments = map[string]func(Scale) []*Table{
 	"faults":        FaultsExperiment,
 }
 
+// presentationOrder lists the experiment ids in the order they appear in
+// the paper (figures, then tables, then the repo's own ablations). Ids
+// registered in Experiments but missing here are appended alphabetically
+// rather than in map-iteration order, so -list and RunAll stay stable.
+var presentationOrder = []string{
+	"fig2", "fig3", "fig3-ablation", "fig4", "fig5", "fig6", "fig7",
+	"fig8", "fig9", "fig10", "fig11", "table6", "ablation", "motivation",
+	"workers", "cache", "faults",
+}
+
 // Names returns the experiment ids in stable presentation order.
 func Names() []string {
-	order := map[string]int{
-		"fig2": 0, "fig3": 1, "fig3-ablation": 2, "fig4": 3, "fig5": 4,
-		"fig6": 5, "fig7": 6, "fig8": 7, "fig9": 8, "fig10": 9,
-		"fig11": 10, "table6": 11, "ablation": 12, "motivation": 13,
-		"workers": 14, "cache": 15, "faults": 16,
-	}
 	names := make([]string, 0, len(Experiments))
-	for n := range Experiments {
-		names = append(names, n)
+	listed := make(map[string]bool, len(presentationOrder))
+	for _, n := range presentationOrder {
+		listed[n] = true
+		if _, ok := Experiments[n]; ok {
+			names = append(names, n)
+		}
 	}
-	sort.Slice(names, func(a, b int) bool { return order[names[a]] < order[names[b]] })
-	return names
+	var extra []string
+	for n := range Experiments {
+		if !listed[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
 }
 
 // RunAll executes every experiment at the given scale, streaming tables to
-// w as they complete.
-func RunAll(w io.Writer, s Scale) {
+// w as they complete. It stops at the first experiment that fails.
+func RunAll(w io.Writer, s Scale) error {
 	for _, name := range Names() {
-		Run(w, name, s)
+		if err := Run(w, name, s); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Run executes one experiment by id and prints its tables.

@@ -99,6 +99,7 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	for i, o := range undecided {
 		conds[i] = ct.Conds[o]
 	}
+	//lint:ignore determinism timing observability only: ProbTime reports wall-clock and never feeds a decision
 	probStart := time.Now()
 	initial := ev.ProbAll(conds, opt.Workers)
 	result.ProbTime += time.Since(probStart)
@@ -158,6 +159,7 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		if remaining < k {
 			k = remaining
 		}
+		//lint:ignore determinism timing observability only: SelectTime reports wall-clock and never feeds a decision
 		selectStart := time.Now()
 		tasks := selectBatch(opt, ct, ev, probs, k)
 		result.SelectTime += time.Since(selectStart)
@@ -292,6 +294,7 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		if ev.Cache != nil && len(distChanged) > 0 {
 			changedVars = changedVars[:0]
 			for v := range distChanged {
+				//lint:ignore determinism Invalidate bumps per-variable epochs; the bump set matters, its order does not
 				changedVars = append(changedVars, v)
 			}
 			ev.Cache.Invalidate(changedVars...)
@@ -344,6 +347,7 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		for _, o := range stale {
 			staleConds = append(staleConds, ct.Conds[o])
 		}
+		//lint:ignore determinism timing observability only: ProbTime reports wall-clock and never feeds a decision
 		probStart = time.Now()
 		for i, p := range ev.ProbAll(staleConds, opt.Workers) {
 			probs[stale[i]] = p
@@ -444,7 +448,7 @@ func postWithRetry(platform crowd.Platform, tasks []crowd.Task, opt Options, res
 			if shift > 5 {
 				shift = 5 // cap the delay at 32× the base
 			}
-			start := time.Now()
+			start := time.Now() //lint:ignore determinism retry backoff is wall-clock by design; BackoffTime is observability-only
 			time.Sleep(opt.RetryBackoff << uint(shift))
 			result.BackoffTime += time.Since(start)
 		}

@@ -233,6 +233,7 @@ func (cs *CondScan) planComp(g int, needed map[ctable.Var]bool, nCand int) {
 				continue
 			}
 		}
+		//lint:ignore determinism miss feeds a need-set and per-variable map stores; vectors are computed on the canonical component order, so gather order cannot reach a result
 		miss = append(miss, x)
 	}
 	if len(miss) == 0 || nCand < marginalsThreshold {
