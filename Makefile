@@ -1,18 +1,24 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-smoke fuzz examples figures figures-paper ci fmt-check lint
+.PHONY: all build test race cover bench bench-smoke fuzz examples figures figures-paper ci fmt-check lint docs-check
 
 all: build test
 
 # ci mirrors .github/workflows/ci.yml exactly (plus the gofmt gate), so a
 # local `make ci` reproduces what the pipeline enforces.
-ci: fmt-check lint build test race
+ci: fmt-check lint docs-check build test race
 
 # lint runs the repo's own invariant analyzers (cmd/bayeslint): the
-# determinism, single-writer, error-handling, goroutine-hygiene, and
-# float-comparison contracts from DESIGN.md "Enforced invariants".
+# determinism, single-writer, error-handling, goroutine-hygiene,
+# float-comparison, and doc-comment contracts from DESIGN.md "Enforced
+# invariants".
 lint:
 	go run ./cmd/bayeslint ./...
+
+# docs-check keeps the prose honest: README layout table vs. the
+# filesystem, markdown links resolve, ```go snippets are gofmt-clean.
+docs-check:
+	go test ./internal/docscheck/
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

@@ -58,6 +58,8 @@ import (
 	"bayescrowd/internal/dae"
 	"bayescrowd/internal/dataset"
 	"bayescrowd/internal/metrics"
+	"bayescrowd/internal/obs"
+	"bayescrowd/internal/parallel"
 	"bayescrowd/internal/prob"
 	"bayescrowd/internal/skyline"
 )
@@ -290,6 +292,61 @@ func Conditions(d *Dataset, alpha float64) []string {
 	}
 	return out
 }
+
+// TraceEvent is one typed, deterministic record of a run's trace: what
+// happened (Kind), when on the logical clock (Seq, Round), and the
+// kind's payload fields. See the obs package for the event taxonomy.
+type TraceEvent = obs.Event
+
+// TraceSink consumes trace events; implementations decide persistence
+// (JSONL file, in-memory aggregation, nothing).
+type TraceSink = obs.Sink
+
+// TraceRecorder stamps trace events with the run's logical clock and
+// forwards them to a sink. Assign one to Options.Trace; a nil recorder
+// disables tracing at zero cost. One recorder serves one run at a time.
+type TraceRecorder = obs.Recorder
+
+// MetricsRegistry collects a run's scheduling-dependent numbers —
+// monotonic counters and duration histograms. Assign one to
+// Options.Metrics and dump it with WriteJSON, or serve it over HTTP with
+// ServeObs.
+type MetricsRegistry = obs.Registry
+
+// NewTraceRecorder wraps the sink in a fresh logical clock; a nil sink
+// yields the disabled (nil) recorder.
+func NewTraceRecorder(s TraceSink) *TraceRecorder { return obs.NewRecorder(s) }
+
+// JSONLTrace is a sink writing one canonical JSON object per event —
+// the format behind cmd/bayescrowd's -trace flag.
+type JSONLTrace = obs.Trace
+
+// NewJSONLTrace returns a sink writing one JSON object per event to w.
+// The encoding is canonical, so a seeded run's trace is byte-identical
+// at any Options.Workers setting. Call Flush before closing w.
+func NewJSONLTrace(w io.Writer) *JSONLTrace { return obs.NewTrace(w) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// TraceAggregator is a sink that folds events into a MetricsRegistry as
+// per-kind counters instead of persisting them.
+type TraceAggregator = obs.Aggregator
+
+// NewTraceAggregator returns a sink that folds events into reg as
+// per-kind counters ("events.<kind>") instead of persisting them.
+func NewTraceAggregator(reg *MetricsRegistry) *TraceAggregator { return obs.NewAggregator(reg) }
+
+// ServeObs starts the opt-in debug HTTP endpoint on addr in the
+// background — GET /metrics dumps reg as JSON, /debug/pprof/* exposes
+// the standard profiles — and returns the bound address (addr may use
+// port 0). The server runs for the remainder of the process.
+func ServeObs(addr string, reg *MetricsRegistry) (string, error) { return obs.Serve(addr, reg) }
+
+// SetPoolMetrics points the worker pool's process-wide counters
+// (parallel.fanouts / parallel.inline / parallel.items) at reg; nil
+// disables them again.
+func SetPoolMetrics(reg *MetricsRegistry) { parallel.SetMetrics(reg) }
 
 // F1 scores a result set against the expected one.
 func F1(got, want []int) float64 { return metrics.F1(got, want) }

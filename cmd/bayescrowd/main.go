@@ -13,6 +13,12 @@
 //	bayescrowd -data holes.csv -truth full.csv -budget 50 -latency 5 -strategy HHS -m 15
 //	bayescrowd -data holes.csv -truth full.csv -net net.json   # reuse a learned network
 //	bayescrowd -data holes.csv -interactive -budget 10 -latency 2
+//	bayescrowd -data holes.csv -truth full.csv -trace run.jsonl -obs :6060
+//
+// -trace writes a deterministic JSONL event log of the run (byte-identical
+// across -workers settings for a fixed -seed); -obs serves live /metrics
+// and /debug/pprof endpoints and dumps the metrics registry at exit. See
+// docs/OPERATIONS.md for the full event and counter reference.
 //
 // CSV format: first line "id,<attr names>", second line
 // "levels,<domain sizes>", then one row per object with "?" for missing
@@ -53,6 +59,8 @@ func main() {
 		backoff     = flag.Duration("backoff", 0, "base retry backoff delay (doubles per attempt, capped at 32x); 0 retries immediately")
 		reask       = flag.Int("reask", 0, "re-post a conflicting task this many times and absorb the majority; 0 discards conflicts")
 		chargePost  = flag.Bool("chargeonpost", false, "charge the budget on posting instead of on answer arrival")
+		tracePath   = flag.String("trace", "", "write a JSONL trace of the run's events to this file (deterministic under -seed)")
+		obsAddr     = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (e.g. :6060)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		verbose     = flag.Bool("v", false, "print per-round progress")
 	)
@@ -70,6 +78,33 @@ func main() {
 		fail("%v", err)
 	}
 
+	// Observability: one recorder is shared by the framework and the
+	// fault injector (one logical clock per run); the registry feeds the
+	// -obs endpoint and the end-of-run metrics dump.
+	var (
+		rec       *bayescrowd.TraceRecorder
+		traceSink *bayescrowd.JSONLTrace
+		traceFile *os.File
+		registry  *bayescrowd.MetricsRegistry
+	)
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		traceSink = bayescrowd.NewJSONLTrace(traceFile)
+		rec = bayescrowd.NewTraceRecorder(traceSink)
+	}
+	if *obsAddr != "" {
+		registry = bayescrowd.NewMetricsRegistry()
+		bayescrowd.SetPoolMetrics(registry)
+		addr, err := bayescrowd.ServeObs(*obsAddr, registry)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "bayescrowd: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
+
 	var platform bayescrowd.Platform
 	if *interactive {
 		platform = &terminalCrowd{in: bufio.NewScanner(os.Stdin), data: data}
@@ -81,8 +116,10 @@ func main() {
 		platform = bayescrowd.NewSimulatedCrowd(truth, *accuracy, rand.New(rand.NewSource(*seed)))
 	}
 	if *dropProb > 0 || *outageProb > 0 || *spamProb > 0 {
-		platform = bayescrowd.NewUnreliableCrowd(platform, *dropProb, *outageProb, *spamProb,
+		u := bayescrowd.NewUnreliableCrowd(platform, *dropProb, *outageProb, *spamProb,
 			rand.New(rand.NewSource(*seed+2)))
+		u.Obs = rec // injected faults show up in the trace
+		platform = u
 	}
 
 	var strat bayescrowd.Strategy
@@ -110,6 +147,8 @@ func main() {
 		RetryBackoff:   *backoff,
 		ReaskConflicts: *reask,
 		ChargeOnPost:   *chargePost,
+		Trace:          rec,
+		Metrics:        registry,
 		Rng:            rand.New(rand.NewSource(*seed + 1)),
 	}
 	if *netPath != "" {
@@ -134,6 +173,14 @@ func main() {
 	res, err := bayescrowd.Run(data, platform, opts)
 	if err != nil {
 		fail("%v", err)
+	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			fail("trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fail("trace: %v", err)
+		}
 	}
 
 	fmt.Printf("posted %d tasks in %d rounds (%d budget units spent)\n", res.TasksPosted, res.Rounds, res.BudgetSpent)
@@ -179,6 +226,15 @@ func main() {
 				break
 			}
 			fmt.Printf("  %s (Pr=%.2f)\n", data.Objects[c.i].ID, c.p)
+		}
+	}
+
+	// A short run outlives its debug endpoint almost immediately, so the
+	// registry is also dumped once at exit.
+	if registry != nil {
+		fmt.Fprintln(os.Stderr, "\nmetrics:")
+		if err := registry.WriteJSON(os.Stderr); err != nil {
+			fail("metrics: %v", err)
 		}
 	}
 }

@@ -1,7 +1,8 @@
-// Command bayeslint runs the repo's invariant linter: five analyzers
+// Command bayeslint runs the repo's invariant linter: six analyzers
 // enforcing the determinism, single-writer, error-handling, goroutine-
-// hygiene, and float-comparison contracts that PRs 1-3 introduced (see
-// DESIGN.md "Enforced invariants" and package internal/analysis).
+// hygiene, float-comparison, and doc-comment contracts the repo's PRs
+// introduced (see DESIGN.md "Enforced invariants" and package
+// internal/analysis).
 //
 // Usage:
 //

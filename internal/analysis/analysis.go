@@ -19,6 +19,9 @@
 //     internal/parallel, and naked go statements outside the pool.
 //   - floatcmp: ==/!= on probability/entropy float64s outside approved
 //     epsilon helpers and exact 0/1 sentinel tests.
+//   - doccomment: exported declarations without a doc comment in the
+//     configured packages — the repo's exports are its paper-to-code
+//     map, so each must state the contract it exports.
 //
 // Diagnostics are suppressed per site with
 //
@@ -90,5 +93,6 @@ func Analyzers() []*Analyzer {
 		ErrDropAnalyzer,
 		GoroutineAnalyzer,
 		FloatCmpAnalyzer,
+		DocCommentAnalyzer,
 	}
 }

@@ -47,6 +47,11 @@ type Config struct {
 	// EpsilonHelperPattern matches function names inside which exact
 	// float comparison is the point (approximate-equality helpers).
 	EpsilonHelperPattern *regexp.Regexp
+
+	// DocPkgs are import-path prefixes whose exported declarations must
+	// carry doc comments (the doccomment analyzer's scope). The module
+	// path itself makes the whole repo in scope.
+	DocPkgs []string
 }
 
 // RepoConfig is the bayescrowd contract set: the invariants PRs 1-3
@@ -81,6 +86,7 @@ func RepoConfig(modulePath string) *Config {
 		PoolPkg:              p("internal/parallel"),
 		ScratchTypePattern:   regexp.MustCompile(`(?i)(solver|scratch)`),
 		EpsilonHelperPattern: regexp.MustCompile(`(?i)(approx|almost|close|within|eps)`),
+		DocPkgs:              []string{modulePath},
 	}
 }
 

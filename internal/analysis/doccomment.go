@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DocCommentAnalyzer flags exported top-level declarations without a doc
+// comment in the configured packages. The repo's API surface is its
+// paper-to-code map — every exported identifier names a concept from the
+// paper or an operational contract (determinism, single-writer, nil
+// no-ops), and an undocumented export is a contract the next reader has
+// to reverse-engineer. A grouped declaration's doc covers all its specs,
+// as does a spec's own doc comment, so idiomatic
+//
+//	// Strategies of §6.2.
+//	const (
+//		FBS Strategy = iota
+//		...
+//	)
+//
+// blocks stay clean. Trailing line comments do not count: they annotate
+// a value, they don't document a contract.
+var DocCommentAnalyzer = &Analyzer{
+	Name: "doccomment",
+	Doc:  "flag exported declarations without a doc comment in the configured packages",
+	Run:  runDocComment,
+}
+
+func runDocComment(pass *Pass) {
+	if !docScoped(pass.Cfg, pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, d)
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					continue // the group doc covers every spec
+				}
+				for _, spec := range d.Specs {
+					checkSpecDoc(pass, spec)
+				}
+			}
+		}
+	}
+}
+
+// docScoped reports whether the package's import path falls under one of
+// the configured DocPkgs prefixes.
+func docScoped(cfg *Config, path string) bool {
+	for _, p := range cfg.DocPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFuncDoc flags an undocumented exported function or an
+// undocumented exported method on an exported receiver type (methods on
+// unexported types are internal detail; their contract lives on the
+// interface or constructor that exposes them).
+func checkFuncDoc(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Doc != nil || !fd.Name.IsExported() {
+		return
+	}
+	kind := "function"
+	if fd.Recv != nil {
+		recv := receiverTypeName(fd.Recv)
+		if recv == "" || !ast.IsExported(recv) {
+			return
+		}
+		kind = "method " + recv + "."
+	} else {
+		kind += " "
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"exported %s%s has no doc comment; document the contract (inputs, nil behavior, concurrency) the export promises", kind, fd.Name.Name)
+}
+
+// checkSpecDoc flags undocumented exported names inside an undocumented
+// declaration group: the spec's own doc comment counts.
+func checkSpecDoc(pass *Pass, spec ast.Spec) {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		if s.Doc == nil && s.Name.IsExported() {
+			pass.Reportf(s.Name.Pos(),
+				"exported type %s has no doc comment; document the contract (inputs, nil behavior, concurrency) the export promises", s.Name.Name)
+		}
+	case *ast.ValueSpec:
+		if s.Doc != nil {
+			return
+		}
+		for _, name := range s.Names {
+			if name.IsExported() {
+				pass.Reportf(name.Pos(),
+					"exported %s has no doc comment; document the contract (inputs, nil behavior, concurrency) the export promises", name.Name)
+			}
+		}
+	}
+}
+
+// receiverTypeName unwraps a method receiver to its base type name
+// ("*Foo[T]" and "Foo" both yield "Foo").
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr:
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.Name
+		default:
+			return ""
+		}
+	}
+}

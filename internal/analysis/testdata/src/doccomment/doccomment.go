@@ -1,0 +1,53 @@
+// Package doccomment is golden input for the doc-comment analyzer.
+package doccomment
+
+// Documented carries a doc comment and is clean.
+type Documented struct{}
+
+type Bare struct{} // want `exported type Bare has no doc comment`
+
+type (
+	Grouped int // want `exported type Grouped has no doc comment`
+
+	// Specced has its own spec doc and is clean.
+	Specced int
+
+	documented int
+)
+
+// Kinds groups the constants below; the group doc covers every spec.
+const (
+	KindA = "a"
+	KindB = "b"
+)
+
+const Loose = 3 // want `exported Loose has no doc comment`
+
+var (
+	Exported   int // want `exported Exported has no doc comment`
+	unexported int
+)
+
+// Run is documented and clean.
+func Run() {}
+
+func Orphan() {} // want `exported function Orphan has no doc comment`
+
+func helper() {}
+
+// Method is documented and clean.
+func (Documented) Method() {}
+
+func (*Documented) Undoc() {} // want `exported method Documented.Undoc has no doc comment`
+
+func (Documented) private() {}
+
+func (Bare) OnBare() {} // want `exported method Bare.OnBare has no doc comment`
+
+type hidden struct{}
+
+// Exported methods on unexported receiver types are internal detail and
+// stay clean even without a doc comment.
+func (hidden) Visible() {}
+
+func Suppressed() {} //lint:ignore doccomment the suppression machinery must cover this analyzer too

@@ -9,7 +9,7 @@ import (
 	"bayescrowd/internal/dae"
 )
 
-// Ablation — beyond the paper's own sweeps (DESIGN.md §6): quantifies two
+// Ablation — beyond the paper's own sweeps (DESIGN.md §9): quantifies two
 // framework-level design choices on the NBA defaults.
 //
 //  1. Answer propagation: with inference on, one answer narrows a

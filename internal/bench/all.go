@@ -25,6 +25,7 @@ var Descriptions = map[string]string{
 	"workers":       "parallel scaling: c-table build and Pr(phi) fan-out vs worker count",
 	"cache":         "component-memoization ablation: crowdsourcing phase with the Pr(phi) cache on vs off",
 	"faults":        "fault tolerance: monetary cost and round inflation vs answer-drop rate, three strategies",
+	"obs":           "observability overhead: crowdsourcing phase timed with tracing/metrics disabled, no-op, aggregated, and fully traced",
 }
 
 // Experiments maps experiment ids (as accepted by cmd/benchfig) to their
@@ -47,6 +48,7 @@ var Experiments = map[string]func(Scale) []*Table{
 	"workers":       WorkersScaling,
 	"cache":         CacheExperiment,
 	"faults":        FaultsExperiment,
+	"obs":           ObsOverhead,
 }
 
 // presentationOrder lists the experiment ids in the order they appear in
@@ -56,7 +58,7 @@ var Experiments = map[string]func(Scale) []*Table{
 var presentationOrder = []string{
 	"fig2", "fig3", "fig3-ablation", "fig4", "fig5", "fig6", "fig7",
 	"fig8", "fig9", "fig10", "fig11", "table6", "ablation", "motivation",
-	"workers", "cache", "faults",
+	"workers", "cache", "faults", "obs",
 }
 
 // Names returns the experiment ids in stable presentation order.

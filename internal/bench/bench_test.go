@@ -64,7 +64,7 @@ func TestNamesCoverAllExperiments(t *testing.T) {
 	if len(names) != len(Experiments) {
 		t.Fatalf("Names() returned %d ids, registry has %d", len(names), len(Experiments))
 	}
-	if names[0] != "fig2" || names[len(names)-1] != "faults" {
+	if names[0] != "fig2" || names[len(names)-1] != "obs" {
 		t.Fatalf("unexpected presentation order: %v", names)
 	}
 }

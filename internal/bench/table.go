@@ -1,7 +1,7 @@
 // Package bench regenerates every table and figure of the paper's
 // experimental evaluation (§7) over the simulated substrates: Figures 2-11
 // and Table 6. Each experiment prints the same rows/series the paper
-// plots; DESIGN.md §5 maps experiment ids to the modules they exercise and
+// plots; DESIGN.md §8 maps experiment ids to the modules they exercise and
 // EXPERIMENTS.md records paper-vs-measured shapes.
 package bench
 

@@ -13,6 +13,7 @@ import (
 	"bayescrowd/internal/bayesnet"
 	"bayescrowd/internal/crowd"
 	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/obs"
 	"bayescrowd/internal/parallel"
 	"bayescrowd/internal/prob"
 )
@@ -145,6 +146,24 @@ type Options struct {
 	// top vote; ties stay discarded). Re-asks are charged like any other
 	// answered task. 0 — the default — keeps the discard-only policy.
 	ReaskConflicts int
+
+	// Trace, when non-nil, receives the run's typed trace events (see
+	// internal/obs): round boundaries, entropy rankings, strategy picks,
+	// task lifecycle, conflicts, cache invalidations, degradation. Events
+	// are emitted only from the run's sequential single-writer sections
+	// and are stamped by the Recorder's logical clock, so a seeded run
+	// traces byte-identically at any Workers setting. The Recorder is
+	// single-writer: do not share one across concurrent runs. nil — the
+	// default — disables tracing at zero cost.
+	Trace *obs.Recorder
+	// Metrics, when non-nil, receives the run's scheduling-dependent
+	// numbers as monotonic counters and duration histograms (see
+	// internal/obs.Registry): per-round select/prob/round wall times,
+	// component-cache hit/miss/eviction/invalidation deltas, and task
+	// tallies. These are deliberately kept out of the trace — they vary
+	// with goroutine scheduling. nil — the default — disables metrics at
+	// zero cost.
+	Metrics *obs.Registry
 
 	// Rng drives tie-breaking; defaults to a fixed seed.
 	Rng *rand.Rand

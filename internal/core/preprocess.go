@@ -8,6 +8,7 @@ import (
 	"bayescrowd/internal/bayesnet"
 	"bayescrowd/internal/ctable"
 	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/obs"
 	"bayescrowd/internal/prob"
 )
 
@@ -31,12 +32,17 @@ type Imputer interface {
 // observed cells.
 func Preprocess(d *dataset.Dataset, opt Options) (prob.Dists, error) {
 	if opt.Imputer != nil {
-		return opt.Imputer.Distributions(d)
+		dists, err := opt.Imputer.Distributions(d)
+		if err != nil {
+			return nil, err
+		}
+		return emitPreprocess(opt, "imputer", dists), nil
 	}
 	if opt.MarginalsOnly {
-		return marginalDists(d), nil
+		return emitPreprocess(opt, "marginals", marginalDists(d)), nil
 	}
 	net := opt.Net
+	model := "net"
 	if net == nil {
 		var err error
 		net, err = learnNetwork(d, opt)
@@ -45,13 +51,22 @@ func Preprocess(d *dataset.Dataset, opt Options) (prob.Dists, error) {
 		}
 		if net == nil {
 			// Too few complete rows for structure learning.
-			return marginalDists(d), nil
+			return emitPreprocess(opt, "marginals-fallback", marginalDists(d)), nil
 		}
+		model = "learned"
 	}
 	if err := checkNetSchema(d, net); err != nil {
 		return nil, err
 	}
-	return posteriors(d, net), nil
+	return emitPreprocess(opt, model, posteriors(d, net)), nil
+}
+
+// emitPreprocess traces which preprocessing model produced the
+// missing-value distributions and how many there are, passing the
+// distributions through for call-site brevity.
+func emitPreprocess(opt Options, model string, dists prob.Dists) prob.Dists {
+	opt.Trace.Emit(obs.Event{Kind: obs.KindPreprocess, N: len(dists), Note: model})
+	return dists
 }
 
 // LearnNetwork trains Bayesian-network structure and parameters on the

@@ -9,6 +9,7 @@ import (
 	"bayescrowd/internal/crowd"
 	"bayescrowd/internal/ctable"
 	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/obs"
 	"bayescrowd/internal/prob"
 )
 
@@ -64,6 +65,27 @@ func RunCrowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platf
 // and base posteriors. Exposed within the package so benchmarks can time
 // it apart from preprocessing.
 func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform crowd.Platform, opt Options) (*Result, error) {
+	// The recorder and registry are the run's two observability channels:
+	// deterministic events to rec (single-writer sections only), and
+	// scheduling-dependent numbers — durations, cache deltas — to reg.
+	// Both are nil-safe no-ops when disabled.
+	rec := opt.Trace
+	reg := opt.Metrics
+	rec.Emit(obs.Event{Kind: obs.KindRunStart, N: opt.Budget, M: opt.Latency, Note: opt.Strategy.String()})
+	var (
+		hSelect      = reg.Histogram("select.duration")
+		hProb        = reg.Histogram("prob.duration")
+		hRound       = reg.Histogram("round.duration")
+		cRounds      = reg.Counter("rounds")
+		cPosted      = reg.Counter("tasks.posted")
+		cAnswered    = reg.Counter("tasks.answered")
+		cCacheHits   = reg.Counter("cache.hits")
+		cCacheMisses = reg.Counter("cache.misses")
+		cCacheEvict  = reg.Counter("cache.evicted")
+		cCacheInval  = reg.Counter("cache.invalidated")
+	)
+	var prevCache prob.CacheStats
+
 	know := ctable.NewKnowledge(d)
 	know.NoInference = opt.NoInference
 
@@ -82,6 +104,13 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		// distributions.
 		ev.Cache = prob.NewComponentCache(opt.CacheSize)
 	}
+	// core is the single writer that owns the evaluator; it hands the
+	// recorder down so prob's sequential dispatch points (ProbAll,
+	// PlanSweeps, Invalidate) can trace their deterministic sizes.
+	ev.Obs = rec
+	if ev.Cache != nil {
+		ev.Cache.Obs = rec
+	}
 
 	result := &Result{}
 	remaining := opt.Budget
@@ -99,10 +128,13 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	for i, o := range undecided {
 		conds[i] = ct.Conds[o]
 	}
+	rec.Emit(obs.Event{Kind: obs.KindModel, N: len(ct.Conds), M: len(undecided)})
 	//lint:ignore determinism timing observability only: ProbTime reports wall-clock and never feeds a decision
 	probStart := time.Now()
 	initial := ev.ProbAll(conds, opt.Workers)
-	result.ProbTime += time.Since(probStart)
+	initialDur := time.Since(probStart)
+	result.ProbTime += initialDur
+	hProb.Observe(initialDur)
 	probs := make(map[int]float64, len(undecided))
 	varToObjs := map[ctable.Var][]int{}
 	for i, o := range undecided {
@@ -150,25 +182,42 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	// the result Degraded (the crowd work the faults cost us).
 	pendingDropped := map[ctable.Expr]bool{}
 
+	round := 0
 	for remaining > 0 {
 		if len(probs) == 0 {
 			break // every condition decided
+		}
+
+		round++
+		rec.SetRound(round)
+		var roundStart time.Time
+		if hRound != nil {
+			//lint:ignore determinism timing observability only: the round-duration histogram reports wall-clock and never feeds a decision
+			roundStart = time.Now()
 		}
 
 		k := mu
 		if remaining < k {
 			k = remaining
 		}
+		rec.Emit(obs.Event{Kind: obs.KindRoundStart, N: k, M: remaining})
 		//lint:ignore determinism timing observability only: SelectTime reports wall-clock and never feeds a decision
 		selectStart := time.Now()
 		tasks := selectBatch(opt, ct, ev, probs, k)
-		result.SelectTime += time.Since(selectStart)
+		selectDur := time.Since(selectStart)
+		result.SelectTime += selectDur
+		hSelect.Observe(selectDur)
 		if len(tasks) == 0 {
 			break // nothing conflict-free left to ask
 		}
 		batchCost := 0
 		for _, t := range tasks {
 			batchCost += taskCost(opt, t)
+		}
+		if rec.On() {
+			for _, t := range tasks {
+				rec.Emit(obs.Event{Kind: obs.KindTaskPost, Task: t.Expr.String(), N: taskCost(opt, t)})
+			}
 		}
 
 		// Post the round, retrying outages with capped exponential backoff.
@@ -177,8 +226,11 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		answers, postErr := postWithRetry(platform, tasks, opt, result)
 		result.TasksPosted += len(tasks)
 		result.TasksAnswered += len(answers)
+		cPosted.Add(int64(len(tasks)))
+		cAnswered.Add(int64(len(answers)))
 		if postErr == nil {
 			result.Rounds++
+			cRounds.Add(1)
 		}
 
 		clear(touched)
@@ -187,9 +239,15 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		var conflictSeen map[ctable.Expr]bool
 		for _, a := range answers {
 			delete(pendingDropped, a.Task.Expr)
+			if rec.On() {
+				rec.Emit(obs.Event{Kind: obs.KindTaskAnswer, Task: a.Task.Expr.String(), Rel: a.Rel.String()})
+			}
 			if err := absorb(a.Task.Expr, a.Rel); err != nil {
 				if errors.Is(err, ctable.ErrConflict) {
 					result.ConflictingAnswers++
+					if rec.On() {
+						rec.Emit(obs.Event{Kind: obs.KindTaskConflict, Task: a.Task.Expr.String(), Rel: a.Rel.String()})
+					}
 					if opt.ReaskConflicts > 0 && !conflictSeen[a.Task.Expr] {
 						if conflictSeen == nil {
 							conflictSeen = map[ctable.Expr]bool{}
@@ -236,6 +294,9 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 				for i := range copies {
 					copies[i] = t
 				}
+				if rec.On() {
+					rec.Emit(obs.Event{Kind: obs.KindTaskReask, Task: t.Expr.String(), N: len(copies)})
+				}
 				reAnswers, err := platform.Post(copies)
 				result.TasksReasked += len(copies)
 				if err != nil {
@@ -258,6 +319,9 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 					return nil, err
 				}
 				result.ConflictsResolved++
+				if rec.On() {
+					rec.Emit(obs.Event{Kind: obs.KindConflictResolved, Task: t.Expr.String(), Rel: maj.String()})
+				}
 			}
 		}
 
@@ -280,9 +344,15 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 				continue
 			}
 			result.TasksDropped++
+			if rec.On() {
+				rec.Emit(obs.Event{Kind: obs.KindTaskDrop, Task: t.Expr.String()})
+			}
 			if _, decided := know.Eval(t.Expr); !decided {
 				result.TasksRequeued++
 				pendingDropped[t.Expr] = true
+				if rec.On() {
+					rec.Emit(obs.Event{Kind: obs.KindTaskRequeue, Task: t.Expr.String()})
+				}
 			}
 		}
 
@@ -352,7 +422,25 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		for i, p := range ev.ProbAll(staleConds, opt.Workers) {
 			probs[stale[i]] = p
 		}
-		result.ProbTime += time.Since(probStart)
+		roundProbDur := time.Since(probStart)
+		result.ProbTime += roundProbDur
+		hProb.Observe(roundProbDur)
+
+		// Close the round on both channels: the deterministic charge and
+		// undecided count to the trace, the scheduling-dependent cache
+		// deltas and wall time to the registry.
+		rec.Emit(obs.Event{Kind: obs.KindRoundEnd, N: charged, M: len(probs)})
+		if reg != nil && ev.Cache != nil {
+			s := ev.Cache.Stats()
+			cCacheHits.Add(int64(s.Hits - prevCache.Hits))
+			cCacheMisses.Add(int64(s.Misses - prevCache.Misses))
+			cCacheEvict.Add(int64(s.Evicted - prevCache.Evicted))
+			cCacheInval.Add(int64(s.Invalidated - prevCache.Invalidated))
+			prevCache = s
+		}
+		if hRound != nil {
+			hRound.Observe(time.Since(roundStart))
+		}
 
 		if postErr != nil {
 			// Retries exhausted mid-phase: keep everything absorbed so far
@@ -385,6 +473,9 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 				"budget exhausted with %d fault-dropped tasks unrecovered", unrecovered)
 		}
 	}
+	if result.Degraded {
+		rec.Emit(obs.Event{Kind: obs.KindDegrade, Note: result.DegradedReason})
+	}
 
 	// Final inference: decided-true objects plus undecided ones whose
 	// satisfaction probability exceeds 0.5 (§7). The cached probabilities
@@ -402,7 +493,16 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	result.CTable = ct
 	if ev.Cache != nil {
 		result.Cache = ev.Cache.Stats()
+		if reg != nil {
+			// Publish whatever accrued since the last per-round delta
+			// (e.g. when the loop exited before a round completed).
+			cCacheHits.Add(int64(result.Cache.Hits - prevCache.Hits))
+			cCacheMisses.Add(int64(result.Cache.Misses - prevCache.Misses))
+			cCacheEvict.Add(int64(result.Cache.Evicted - prevCache.Evicted))
+			cCacheInval.Add(int64(result.Cache.Invalidated - prevCache.Invalidated))
+		}
 	}
+	rec.Emit(obs.Event{Kind: obs.KindRunEnd, N: result.TasksPosted, M: result.Rounds})
 	return result, nil
 }
 
@@ -443,10 +543,19 @@ func postWithRetry(platform crowd.Platform, tasks []crowd.Task, opt Options, res
 			return got, err
 		}
 		result.RoundRetries++
+		if opt.Trace.On() {
+			opt.Trace.Emit(obs.Event{Kind: obs.KindRoundRetry, N: attempt, Note: err.Error()})
+		}
 		if opt.RetryBackoff > 0 {
 			shift := attempt
 			if shift > 5 {
 				shift = 5 // cap the delay at 32× the base
+			}
+			if opt.Trace.On() {
+				// The configured delay, not the measured one — the event
+				// stays deterministic; the measured sleep is in
+				// Result.BackoffTime.
+				opt.Trace.Emit(obs.Event{Kind: obs.KindBackoff, N: attempt, Note: (opt.RetryBackoff << uint(shift)).String()})
 			}
 			start := time.Now() //lint:ignore determinism retry backoff is wall-clock by design; BackoffTime is observability-only
 			time.Sleep(opt.RetryBackoff << uint(shift))

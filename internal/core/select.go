@@ -5,6 +5,7 @@ import (
 
 	"bayescrowd/internal/crowd"
 	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/obs"
 	"bayescrowd/internal/parallel"
 	"bayescrowd/internal/prob"
 )
@@ -54,6 +55,14 @@ func selectBatch(opt Options, ct *ctable.CTable, ev *prob.Evaluator, probs map[i
 			}
 		}
 	}
+	if opt.Trace.On() {
+		// The entropy ranking is deterministic: scores merge by index and
+		// the stable sort fixes tie order, so top is identical at any
+		// worker count.
+		for _, c := range top {
+			opt.Trace.Emit(obs.Event{Kind: obs.KindEntropyTopK, Obj: c.obj, P: c.h})
+		}
+	}
 
 	used := map[ctable.Var]bool{}
 	var tasks []crowd.Task
@@ -66,6 +75,9 @@ func selectBatch(opt Options, ct *ctable.CTable, ev *prob.Evaluator, probs map[i
 		e, ok := pickExpr(opt, ev, ct.Conds[c.obj], probs[c.obj], freq, used)
 		if !ok {
 			continue // every expression conflicts with this batch
+		}
+		if opt.Trace.On() {
+			opt.Trace.Emit(obs.Event{Kind: obs.KindStrategyPick, Obj: c.obj, Task: e.String()})
 		}
 		task := crowd.Task{Expr: e}
 		cost := taskCost(opt, task)

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the checked-in golden trace from the current run")
+
+// goldenTraceRun executes the fixed-seed NBA-small run behind the golden
+// trace: imperfect workers, answer drops and spam, and conflict re-asking,
+// so the trace exercises the fault events as well as the selection loop.
+// Everything that feeds an event is seeded, so the bytes must not depend
+// on the worker count.
+func goldenTraceRun(t *testing.T, workers int) ([]byte, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	truth := dataset.GenNBA(rng, 150)
+	incomplete := truth.InjectMissing(rng, 0.15)
+
+	var buf bytes.Buffer
+	sink := obs.NewTrace(&buf)
+	rec := obs.NewRecorder(sink)
+
+	platform := crowd.NewSimulated(truth, 0.9, rand.New(rand.NewSource(7)))
+	u := crowd.NewUnreliable(platform, 0.1, 0, 0.05, rand.New(rand.NewSource(9)))
+	u.Obs = rec
+
+	res, err := Run(incomplete, u, Options{
+		Alpha:          0.05,
+		Budget:         30,
+		Latency:        5,
+		Strategy:       HHS,
+		M:              5,
+		Net:            dataset.NBANet(),
+		Workers:        workers,
+		ReaskConflicts: 2,
+		Trace:          rec,
+		Rng:            rand.New(rand.NewSource(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res.Answers
+}
+
+// TestGoldenTrace pins the acceptance criterion of the observability
+// layer: the JSONL trace of a seeded run is byte-identical across worker
+// counts and matches the checked-in golden file. Regenerate the golden
+// after an intentional event change with
+//
+//	go test ./internal/core -run TestGoldenTrace -update-golden
+func TestGoldenTrace(t *testing.T) {
+	got1, ans1 := goldenTraceRun(t, 1)
+	got8, ans8 := goldenTraceRun(t, 8)
+	if !bytes.Equal(got1, got8) {
+		t.Errorf("trace differs between 1 and 8 workers:\n%s", firstDiffLine(got1, got8))
+	}
+	if !reflect.DeepEqual(ans1, ans8) {
+		t.Errorf("answer sets differ between 1 and 8 workers: %v vs %v", ans1, ans8)
+	}
+
+	golden := filepath.Join("testdata", "trace.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got1))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if !bytes.Equal(got1, want) {
+		t.Errorf("trace differs from %s (intentional event change? rerun with -update-golden):\n%s",
+			golden, firstDiffLine(got1, want))
+	}
+}
+
+// firstDiffLine renders the first line where two traces diverge, with its
+// line number, for a readable failure message.
+func firstDiffLine(a, b []byte) string {
+	la := bytes.Split(a, []byte("\n"))
+	lb := bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return "line " + strconv.Itoa(i+1) + ":\n  " + string(la[i]) + "\n  " + string(lb[i])
+		}
+	}
+	return "one trace is a prefix of the other (" + strconv.Itoa(len(la)) + " vs " + strconv.Itoa(len(lb)) + " lines)"
+}

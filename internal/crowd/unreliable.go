@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/obs"
 )
 
 // ErrOutage is the round-level error Unreliable returns when the whole
@@ -50,6 +51,13 @@ type Unreliable struct {
 	Dropped int
 	Spammed int
 	Outages int
+
+	// Obs, when non-nil, receives a trace event per injected fault
+	// (fault.outage, fault.drop, fault.spam). Post runs on the
+	// framework's sequential round loop and the injection schedule is a
+	// pure function of the wrapper's seed, so the events are
+	// deterministic.
+	Obs *obs.Recorder
 }
 
 // NewUnreliable wraps inner with fault injection. Probabilities must be
@@ -78,6 +86,7 @@ func (u *Unreliable) Post(tasks []Task) ([]Answer, error) {
 	}
 	if u.OutageProb > 0 && u.Rng.Float64() < u.OutageProb {
 		u.Outages++
+		u.Obs.Emit(obs.Event{Kind: obs.KindFaultOutage, N: len(tasks)})
 		u.Stats.record(len(tasks), 0, ErrOutage)
 		return nil, ErrOutage
 	}
@@ -90,11 +99,17 @@ func (u *Unreliable) Post(tasks []Task) ([]Answer, error) {
 	for _, a := range answers {
 		if u.DropProb > 0 && u.Rng.Float64() < u.DropProb {
 			u.Dropped++
+			if u.Obs.On() {
+				u.Obs.Emit(obs.Event{Kind: obs.KindFaultDrop, Task: a.Task.Expr.String()})
+			}
 			continue
 		}
 		if u.SpamProb > 0 && u.Rng.Float64() < u.SpamProb {
 			u.Spammed++
 			a.Rel = []ctable.Rel{ctable.LT, ctable.EQ, ctable.GT}[u.Rng.Intn(3)]
+			if u.Obs.On() {
+				u.Obs.Emit(obs.Event{Kind: obs.KindFaultSpam, Task: a.Task.Expr.String(), Rel: a.Rel.String()})
+			}
 		}
 		kept = append(kept, a)
 	}

@@ -90,6 +90,7 @@ type ConflictError struct {
 	Stored Rel
 }
 
+// Error renders the conflict with the stored fact it contradicts.
 func (e *ConflictError) Error() string {
 	if e.Expr.Kind == VarGTVar {
 		return fmt.Sprintf("ctable: answer %v %v %v conflicts with stored relation %v",

@@ -1,0 +1,233 @@
+package docscheck
+
+import (
+	"bytes"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// docFiles are the markdown files the link and snippet gates cover,
+// relative to the module root. docs/ is globbed in addition.
+var docFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// markdownFiles returns the covered files that exist, plus every
+// markdown file under docs/.
+func markdownFiles(t *testing.T, root string) []string {
+	t.Helper()
+	var files []string
+	for _, f := range docFiles {
+		p := filepath.Join(root, f)
+		if _, err := os.Stat(p); err == nil {
+			files = append(files, p)
+		}
+	}
+	more, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, more...)
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	return files
+}
+
+// layoutRowRe matches the first cell of a "Repository layout" table row:
+// a backquoted path at the start of a table line.
+var layoutRowRe = regexp.MustCompile("^\\| `([^`]+)` \\|")
+
+// TestReadmeLayoutTable cross-checks the README "Repository layout"
+// table against the filesystem: every package directory under internal/
+// and cmd/ must have a row, and every internal/cmd row must name an
+// existing directory.
+func TestReadmeLayoutTable(t *testing.T) {
+	root := repoRoot(t)
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inTable := false
+	rows := map[string]bool{}
+	for _, line := range strings.Split(string(readme), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inTable = strings.Contains(line, "Repository layout")
+			continue
+		}
+		if !inTable {
+			continue
+		}
+		if m := layoutRowRe.FindStringSubmatch(line); m != nil {
+			rows[strings.TrimSuffix(m[1], "/")] = true
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows parsed from the README Repository layout table")
+	}
+
+	for _, parent := range []string{"internal", "cmd"} {
+		entries, err := os.ReadDir(filepath.Join(root, parent))
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk := map[string]bool{}
+		for _, e := range entries {
+			if e.IsDir() {
+				onDisk[parent+"/"+e.Name()] = true
+			}
+		}
+		for name := range onDisk {
+			if !rows[name] {
+				t.Errorf("package %s exists but has no row in the README Repository layout table", name)
+			}
+		}
+		var stale []string
+		for row := range rows {
+			if strings.HasPrefix(row, parent+"/") && !onDisk[row] {
+				stale = append(stale, row)
+			}
+		}
+		sort.Strings(stale)
+		for _, row := range stale {
+			t.Errorf("README Repository layout row %q names a package that does not exist", row)
+		}
+	}
+}
+
+// linkRe matches inline markdown links [text](target); images reuse the
+// same tail so they are covered too.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks verifies every relative link in the covered
+// markdown files points at an existing file or directory. External
+// URLs, pure fragments, and paths that escape the repository (GitHub
+// badge URLs are relative to the repo page, not the tree) are skipped.
+func TestMarkdownLinks(t *testing.T) {
+	root := repoRoot(t)
+	for _, file := range markdownFiles(t, root) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := filepath.Rel(root, file)
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if rp, err := filepath.Rel(root, resolved); err != nil || strings.HasPrefix(rp, "..") {
+				continue // escapes the repo: a page-relative GitHub path
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", rel, m[1], err)
+			}
+		}
+	}
+}
+
+// fenceRe captures ```go fenced code blocks.
+var fenceRe = regexp.MustCompile("(?s)```go\n(.*?)```")
+
+// TestGoSnippetsGofmt re-formats every ```go snippet in the covered
+// markdown files and requires the bytes to come back unchanged. A
+// snippet is tried as a complete file, as a package-prefixed file, and
+// as a tab-indented function body; snippets that parse under none of
+// those shapes (elided fragments mixing imports and statements) are
+// skipped rather than guessed at.
+func TestGoSnippetsGofmt(t *testing.T) {
+	root := repoRoot(t)
+	for _, file := range markdownFiles(t, root) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := filepath.Rel(root, file)
+		for i, m := range fenceRe.FindAllStringSubmatch(string(data), -1) {
+			snippet := m[1]
+			if ok, diff := snippetFormatted(snippet); !ok {
+				if diff == "" {
+					t.Logf("%s: go snippet %d does not parse standalone; skipped", rel, i+1)
+					continue
+				}
+				t.Errorf("%s: go snippet %d is not gofmt-clean:\n%s", rel, i+1, diff)
+			}
+		}
+	}
+}
+
+// snippetFormatted reports whether the snippet survives gofmt
+// unchanged under one of the three candidate framings. ok=false with
+// an empty diff means no framing parsed.
+func snippetFormatted(snippet string) (ok bool, diff string) {
+	candidates := []string{
+		snippet,
+		"package p\n\n" + snippet,
+		wrapInFunc(snippet),
+	}
+	for _, c := range candidates {
+		out, err := format.Source([]byte(c))
+		if err != nil {
+			continue
+		}
+		if bytes.Equal(out, []byte(c)) {
+			return true, ""
+		}
+		return false, firstDiff(c, string(out))
+	}
+	return false, ""
+}
+
+// wrapInFunc frames a statement-level fragment as a function body,
+// indenting each non-blank line by one tab the way gofmt would.
+func wrapInFunc(snippet string) string {
+	var b strings.Builder
+	b.WriteString("package p\n\nfunc _() {\n")
+	for _, line := range strings.Split(strings.TrimRight(snippet, "\n"), "\n") {
+		if line != "" {
+			b.WriteByte('\t')
+			b.WriteString(line)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// firstDiff renders the first differing line between the candidate and
+// its gofmt output.
+func firstDiff(got, want string) string {
+	gl := strings.Split(got, "\n")
+	wl := strings.Split(want, "\n")
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if gl[i] != wl[i] {
+			return "line " + strings.TrimSpace(gl[i]) + "\n  gofmt: " + strings.TrimSpace(wl[i])
+		}
+	}
+	return "trailing lines differ"
+}

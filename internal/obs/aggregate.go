@@ -1,0 +1,38 @@
+package obs
+
+import "sync"
+
+// Aggregator is a Sink that folds events into a Registry instead of
+// persisting them: each event increments the counter named
+// "events.<kind>". It answers "how many of what happened" without the
+// cost or volume of a full trace, and it is what the CLI's /metrics
+// endpoint shows when tracing to disk is off.
+//
+// Unlike the Recorder feeding it, an Aggregator is safe for concurrent
+// Emit calls on its own — it may be shared across sinks or runs.
+type Aggregator struct {
+	reg *Registry
+
+	mu     sync.Mutex
+	byKind map[Kind]*Counter
+}
+
+// NewAggregator returns an Aggregator counting into reg. A nil reg
+// yields an Aggregator that counts into nothing (every Emit is a no-op).
+func NewAggregator(reg *Registry) *Aggregator {
+	return &Aggregator{reg: reg, byKind: map[Kind]*Counter{}}
+}
+
+// Emit increments the event kind's counter. The counter pointer is
+// resolved once per kind and cached, so steady-state emission is one
+// map lookup and one atomic add.
+func (a *Aggregator) Emit(e Event) {
+	a.mu.Lock()
+	c, ok := a.byKind[e.Kind]
+	if !ok {
+		c = a.reg.Counter("events." + string(e.Kind))
+		a.byKind[e.Kind] = c
+	}
+	a.mu.Unlock()
+	c.Add(1)
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAggregatorCounts(t *testing.T) {
+	g := NewRegistry()
+	a := NewAggregator(g)
+	r := NewRecorder(a)
+	r.Emit(Event{Kind: KindRunStart})
+	for i := 0; i < 7; i++ {
+		r.Emit(Event{Kind: KindTaskPost})
+	}
+	r.Emit(Event{Kind: KindRunEnd})
+	if v := g.Counter("events.task.post").Value(); v != 7 {
+		t.Errorf("events.task.post = %d, want 7", v)
+	}
+	if v := g.Counter("events.run.start").Value(); v != 1 {
+		t.Errorf("events.run.start = %d, want 1", v)
+	}
+}
+
+// TestAggregatorConcurrent hammers one Aggregator (and its Registry)
+// from many goroutines; run under -race it is the layer's concurrency
+// proof. The Recorder is deliberately absent — it is single-writer by
+// contract — the Aggregator itself is the shared-sink case.
+func TestAggregatorConcurrent(t *testing.T) {
+	g := NewRegistry()
+	a := NewAggregator(g)
+	kinds := []Kind{KindTaskPost, KindTaskAnswer, KindTaskDrop, KindRoundStart}
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				a.Emit(Event{Kind: kinds[(w+i)%len(kinds)]})
+				g.Counter("shared").Add(1)
+				g.Histogram("shared.h").Observe(1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(0)
+	for _, k := range kinds {
+		total += g.Counter("events." + string(k)).Value()
+	}
+	if want := int64(goroutines * perG); total != want {
+		t.Errorf("aggregated events = %d, want %d", total, want)
+	}
+	if v := g.Counter("shared").Value(); v != goroutines*perG {
+		t.Errorf("shared counter = %d, want %d", v, goroutines*perG)
+	}
+	if n := g.Histogram("shared.h").Count(); n != goroutines*perG {
+		t.Errorf("shared histogram count = %d, want %d", n, goroutines*perG)
+	}
+}
+
+func TestAggregatorNilRegistry(t *testing.T) {
+	a := NewAggregator(nil)
+	a.Emit(Event{Kind: KindRunStart}) // must not panic
+	a.Emit(Event{Kind: KindRunStart})
+}

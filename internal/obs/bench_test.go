@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledPathAllocationFree is the issue's hard acceptance bound:
+// the disabled observability path must not allocate. It covers the three
+// disabled states instrumented code actually hits — the nil Recorder,
+// a live Recorder draining into the Nop sink, and the nil
+// Counter/Histogram a nil Registry hands out.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		nilRec.Emit(Event{Kind: KindTaskPost, Task: "t", N: 1})
+		nilRec.SetRound(1)
+	}); n != 0 {
+		t.Errorf("nil Recorder.Emit allocates %v/op, want 0", n)
+	}
+
+	rec := NewRecorder(Nop{})
+	if n := testing.AllocsPerRun(1000, func() {
+		rec.Emit(Event{Kind: KindTaskPost, Task: "t", N: 1})
+	}); n != 0 {
+		t.Errorf("Nop-sink Recorder.Emit allocates %v/op, want 0", n)
+	}
+
+	var g *Registry
+	cnt := g.Counter("x")
+	hist := g.Histogram("y")
+	if n := testing.AllocsPerRun(1000, func() {
+		cnt.Add(1)
+		hist.Observe(time.Millisecond)
+	}); n != 0 {
+		t.Errorf("nil Counter/Histogram update allocates %v/op, want 0", n)
+	}
+}
+
+// TestEnabledCounterAllocationFree pins the hot enabled path too: once a
+// counter or histogram pointer is resolved, updates are a single atomic
+// op with no allocation.
+func TestEnabledCounterAllocationFree(t *testing.T) {
+	g := NewRegistry()
+	cnt := g.Counter("x")
+	hist := g.Histogram("y")
+	if n := testing.AllocsPerRun(1000, func() {
+		cnt.Add(1)
+		hist.Observe(time.Millisecond)
+	}); n != 0 {
+		t.Errorf("resolved Counter/Histogram update allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkEmitNilRecorder(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(Event{Kind: KindTaskPost, Task: "t", N: 1})
+	}
+}
+
+func BenchmarkEmitNopSink(b *testing.B) {
+	r := NewRecorder(Nop{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(Event{Kind: KindTaskPost, Task: "t", N: 1})
+	}
+}
+
+func BenchmarkEmitAggregator(b *testing.B) {
+	r := NewRecorder(NewAggregator(NewRegistry()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(Event{Kind: KindTaskPost, Task: "t", N: 1})
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// Handler returns the debug endpoint's HTTP handler: GET /metrics dumps
+// the registry as JSON, and /debug/pprof/* exposes the standard
+// net/http/pprof profiles. The handler is mounted on its own mux — the
+// process's DefaultServeMux is left alone.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			// The response is already partially written; nothing useful
+			// remains to send the client.
+			fmt.Fprintf(os.Stderr, "obs: /metrics write: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug endpoint on addr (e.g. ":6060") in the
+// background and returns the bound address, so addr may use port 0. The
+// server runs for the remainder of the process; it is an opt-in debug
+// aid, not a managed service, so there is no shutdown handle — exiting
+// the process is the shutdown.
+func Serve(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	//lint:ignore goroutine the opt-in debug endpoint serves for the process lifetime, outside the data-parallel pools
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "obs: debug endpoint: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

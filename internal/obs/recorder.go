@@ -1,0 +1,68 @@
+package obs
+
+// Recorder stamps events with the run's logical clock — a monotonically
+// increasing sequence number and the current round — and forwards them
+// to its Sink. The logical clock is what makes traces reproducible:
+// a seeded run emits the same events with the same stamps regardless of
+// worker count or wall-clock speed.
+//
+// A Recorder is single-writer, exactly like the Evaluator it instruments:
+// all Emit and SetRound calls for one run happen on the run's sequential
+// sections (the round loop between fan-outs), never inside a parallel
+// fan-out. Do not share one Recorder across concurrent runs.
+//
+// The nil *Recorder is the disabled state: every method is a safe no-op
+// and Emit performs zero allocations, so instrumented code calls it
+// unconditionally. Construction-cost payloads (expression renderings,
+// formatted notes) should still be guarded with On so the disabled path
+// does not pay for building strings nobody will see.
+type Recorder struct {
+	sink  Sink
+	seq   uint64
+	round int
+}
+
+// NewRecorder wraps the sink in a fresh logical clock. A nil sink yields
+// a nil Recorder — the disabled state.
+func NewRecorder(s Sink) *Recorder {
+	if s == nil {
+		return nil
+	}
+	return &Recorder{sink: s}
+}
+
+// On reports whether events are being recorded. Use it to guard payload
+// construction that allocates (e.g. rendering an expression to a string)
+// so the disabled path stays allocation-free.
+func (r *Recorder) On() bool {
+	return r != nil
+}
+
+// SetRound sets the round number stamped on subsequent events: 1-based,
+// 0 before the first crowdsourcing round.
+func (r *Recorder) SetRound(n int) {
+	if r == nil {
+		return
+	}
+	r.round = n
+}
+
+// Round returns the round number currently stamped on events.
+func (r *Recorder) Round() int {
+	if r == nil {
+		return 0
+	}
+	return r.round
+}
+
+// Emit stamps the event with the next sequence number and the current
+// round, then hands it to the sink. On a nil Recorder it does nothing.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.seq++
+	e.Seq = r.seq
+	e.Round = r.round
+	r.sink.Emit(e)
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Trace is a Sink that writes one JSON object per event — JSONL, the
+// format every line-oriented tool understands. The encoding is
+// hand-rolled and canonical: fields appear in a fixed order (seq, round,
+// kind, obj, task, rel, n, m, p, note), zero-valued optional fields are
+// omitted, and floats use the shortest round-trip representation
+// (strconv 'g', -1). Because the encoding is a pure function of the
+// event and events are deterministic, a seeded run's trace file is
+// byte-identical at any worker count.
+//
+// Write errors are sticky: the first one stops further output and is
+// reported by Flush and Err (Emit cannot return one — it implements
+// Sink). Trace is single-writer, like the Recorder that feeds it.
+type Trace struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewTrace returns a Trace writing JSONL to w through an internal
+// buffer. Call Flush before closing the underlying writer.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{w: w2bufio(w), buf: make([]byte, 0, 256)}
+}
+
+// w2bufio reuses an existing *bufio.Writer instead of stacking another
+// buffer on top of it.
+func w2bufio(w io.Writer) *bufio.Writer {
+	if bw, ok := w.(*bufio.Writer); ok {
+		return bw
+	}
+	return bufio.NewWriter(w)
+}
+
+// Emit appends the event as one JSON line. After a write error it is a
+// no-op; check Flush or Err for the sticky error.
+func (t *Trace) Emit(e Event) {
+	if t.err != nil {
+		return
+	}
+	b := t.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"round":`...)
+	b = strconv.AppendInt(b, int64(e.Round), 10)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, string(e.Kind))
+	if hasObj(e.Kind) {
+		b = append(b, `,"obj":`...)
+		b = strconv.AppendInt(b, int64(e.Obj), 10)
+	}
+	if e.Task != "" {
+		b = append(b, `,"task":`...)
+		b = strconv.AppendQuote(b, e.Task)
+	}
+	if e.Rel != "" {
+		b = append(b, `,"rel":`...)
+		b = strconv.AppendQuote(b, e.Rel)
+	}
+	if e.N != 0 {
+		b = append(b, `,"n":`...)
+		b = strconv.AppendInt(b, int64(e.N), 10)
+	}
+	if e.M != 0 {
+		b = append(b, `,"m":`...)
+		b = strconv.AppendInt(b, int64(e.M), 10)
+	}
+	if e.P != 0 || e.Kind == KindEntropyTopK {
+		b = append(b, `,"p":`...)
+		b = strconv.AppendFloat(b, e.P, 'g', -1, 64)
+	}
+	if e.Note != "" {
+		b = append(b, `,"note":`...)
+		b = strconv.AppendQuote(b, e.Note)
+	}
+	b = append(b, "}\n"...)
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// hasObj reports whether the kind carries an object index — those kinds
+// always encode "obj", even for object 0; every other kind never does.
+func hasObj(k Kind) bool {
+	return k == KindEntropyTopK || k == KindStrategyPick
+}
+
+// Flush drains the internal buffer to the underlying writer and returns
+// the sticky error, if any.
+func (t *Trace) Flush() error {
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Err returns the first write error encountered, or nil.
+func (t *Trace) Err() error {
+	return t.err
+}

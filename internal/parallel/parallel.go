@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"bayescrowd/internal/obs"
 )
 
 // Workers normalises a worker-count option: values <= 0 mean one worker
@@ -21,6 +23,35 @@ func Workers(n int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return n
+}
+
+// poolCounters caches the resolved counter pointers so the per-For cost
+// of enabled metrics is two atomic adds, and of disabled metrics a
+// single atomic pointer load.
+type poolCounters struct {
+	fanouts *obs.Counter // For calls that actually spawned workers
+	inline  *obs.Counter // For calls that ran inline (workers or n <= 1)
+	items   *obs.Counter // total indices dispatched
+}
+
+// metrics is the process-wide observability hook, nil until SetMetrics.
+var metrics atomic.Pointer[poolCounters]
+
+// SetMetrics points the pool's counters at the given registry:
+// "parallel.fanouts" and "parallel.inline" count For calls (spawning and
+// inline respectively) and "parallel.items" the indices dispatched. The
+// hook is process-wide — the pool has no per-call configuration surface —
+// and passing a nil registry disables it again.
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&poolCounters{
+		fanouts: reg.Counter("parallel.fanouts"),
+		inline:  reg.Counter("parallel.inline"),
+		items:   reg.Counter("parallel.items"),
+	})
 }
 
 // For invokes f(w, i) exactly once for every i in [0, n), fanning the
@@ -45,10 +76,18 @@ func For(workers, n int, f func(worker, i int)) {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
+		if pc := metrics.Load(); pc != nil {
+			pc.inline.Add(1)
+			pc.items.Add(int64(n))
+		}
 		for i := 0; i < n; i++ {
 			f(0, i)
 		}
 		return
+	}
+	if pc := metrics.Load(); pc != nil {
+		pc.fanouts.Add(1)
+		pc.items.Add(int64(n))
 	}
 
 	var (

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/obs"
 )
 
 // DefaultCacheSize bounds the component cache when the caller passes no
@@ -92,6 +93,12 @@ type ComponentCache struct {
 	invalidated uint64
 
 	hits, misses, evicted atomic.Uint64
+
+	// Obs, when non-nil, receives the cache's trace events. Only
+	// Invalidate emits — it runs in the single-writer gap and its
+	// variable count is deterministic; hits, misses and evictions are
+	// scheduling-dependent and surface as registry counters instead.
+	Obs *obs.Recorder
 }
 
 // NewComponentCache returns a cache bounded to at most maxEntries
@@ -234,6 +241,7 @@ func (c *ComponentCache) Invalidate(vars ...ctable.Var) {
 		c.varEpoch[v] = c.epoch
 	}
 	c.invalidated += uint64(len(vars))
+	c.Obs.Emit(obs.Event{Kind: obs.KindCacheInvalidate, N: len(vars)})
 }
 
 // Stats snapshots the cache counters.

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 
 	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/obs"
 	"bayescrowd/internal/parallel"
 )
 
@@ -85,6 +86,12 @@ type Evaluator struct {
 	// components will serve probabilities computed under the old
 	// distribution.
 	Cache *ComponentCache
+	// Obs, when non-nil, receives the evaluator's trace events (fan-out
+	// and sweep-plan sizes). It is set by the single writer that owns the
+	// evaluator, and events are emitted only from sequential entry points
+	// (ProbAll's dispatch, CondScan.PlanSweeps) — never from inside a
+	// fan-out — so the trace stays deterministic at any worker count.
+	Obs *obs.Recorder
 }
 
 // NewEvaluator returns an evaluator over the given distributions with
@@ -191,6 +198,9 @@ func (ev *Evaluator) activeCache() *ComponentCache {
 // any worker count: each condition is evaluated wholly by one worker and
 // no sum is reassociated across workers.
 func (ev *Evaluator) ProbAll(conds []*ctable.Condition, workers int) []float64 {
+	// Emitted from the sequential dispatch, before the fan-out — the size
+	// of the fan-out is deterministic even though its schedule is not.
+	ev.Obs.Emit(obs.Event{Kind: obs.KindProbFanout, N: len(conds)})
 	out := make([]float64, len(conds))
 	parallel.For(parallel.Workers(workers), len(conds), func(_, i int) {
 		out[i] = ev.Prob(conds[i])

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"bayescrowd/internal/ctable"
+	"bayescrowd/internal/obs"
 )
 
 // CondScan precomputes a condition's connected-component decomposition so
@@ -194,6 +195,10 @@ func (cs *CondScan) PlanSweeps(exprs []ctable.Expr) {
 			needed[e.X] = true
 		}
 	}
+	// The candidate and sweep-variable counts are pure functions of the
+	// candidate set; what the cache serves versus recomputes below is not,
+	// and stays out of the trace.
+	cs.ev.Obs.Emit(obs.Event{Kind: obs.KindSweepPlan, N: len(exprs), M: len(needed)})
 	for g, n := range counts {
 		if n > 0 {
 			cs.planComp(g, needed, n)
