@@ -52,6 +52,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "goroutines for the parallel phases; 0 = one per CPU, 1 = sequential (results are identical either way)")
 		nocache     = flag.Bool("nocache", false, "disable the component probability cache (results are identical either way)")
 		cacheSize   = flag.Int("cachesize", 0, "max memoized components; 0 = default bound")
+		approxThr   = flag.Int("approxthreshold", 0, "estimate components with more than this many variables by sampling (deterministic, ~0.05 absolute error); 0 = always exact")
 		dropProb    = flag.Float64("dropprob", 0, "fault injection: per-task probability the answer is dropped")
 		outageProb  = flag.Float64("outageprob", 0, "fault injection: per-round probability the platform fails outright")
 		spamProb    = flag.Float64("spamprob", 0, "fault injection: per-task probability the answer is replaced by a random relation")
@@ -135,21 +136,22 @@ func main() {
 	}
 
 	opts := bayescrowd.Options{
-		Alpha:          *alpha,
-		Budget:         *budget,
-		Latency:        *latency,
-		Strategy:       strat,
-		M:              *m,
-		Workers:        *workers,
-		NoCache:        *nocache,
-		CacheSize:      *cacheSize,
-		MaxRetries:     *maxRetries,
-		RetryBackoff:   *backoff,
-		ReaskConflicts: *reask,
-		ChargeOnPost:   *chargePost,
-		Trace:          rec,
-		Metrics:        registry,
-		Rng:            rand.New(rand.NewSource(*seed + 1)),
+		Alpha:           *alpha,
+		Budget:          *budget,
+		Latency:         *latency,
+		Strategy:        strat,
+		M:               *m,
+		Workers:         *workers,
+		NoCache:         *nocache,
+		CacheSize:       *cacheSize,
+		ApproxThreshold: *approxThr,
+		MaxRetries:      *maxRetries,
+		RetryBackoff:    *backoff,
+		ReaskConflicts:  *reask,
+		ChargeOnPost:    *chargePost,
+		Trace:           rec,
+		Metrics:         registry,
+		Rng:             rand.New(rand.NewSource(*seed + 1)),
 	}
 	if *netPath != "" {
 		f, err := os.Open(*netPath)
@@ -184,6 +186,10 @@ func main() {
 	}
 
 	fmt.Printf("posted %d tasks in %d rounds (%d budget units spent)\n", res.TasksPosted, res.Rounds, res.BudgetSpent)
+	if res.ApproxComponents > 0 {
+		fmt.Printf("approximated %d components (threshold %d variables, ~0.05 absolute error)\n",
+			res.ApproxComponents, *approxThr)
+	}
 	if res.TasksDropped > 0 || res.FailedRounds > 0 || res.ConflictingAnswers > 0 || res.TasksReasked > 0 {
 		fmt.Printf("robustness: %d dropped, %d re-queued, %d round failures (%d retried, %v backoff), %d conflicts (%d re-asked copies, %d resolved)\n",
 			res.TasksDropped, res.TasksRequeued, res.FailedRounds, res.RoundRetries, res.BackoffTime,

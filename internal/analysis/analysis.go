@@ -94,5 +94,6 @@ func Analyzers() []*Analyzer {
 		GoroutineAnalyzer,
 		FloatCmpAnalyzer,
 		DocCommentAnalyzer,
+		HotAllocAnalyzer,
 	}
 }

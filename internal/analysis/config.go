@@ -48,6 +48,12 @@ type Config struct {
 	// float comparison is the point (approximate-equality helpers).
 	EpsilonHelperPattern *regexp.Regexp
 
+	// HotPathRoots are "pkgpath.TypeName.Method" (or "pkgpath.Func")
+	// references naming the Pr(φ) hot-loop entry points; every map
+	// allocation in a function statically reachable from them within
+	// their package is flagged by the hotalloc analyzer.
+	HotPathRoots []string
+
 	// DocPkgs are import-path prefixes whose exported declarations must
 	// carry doc comments (the doccomment analyzer's scope). The module
 	// path itself makes the whole repo in scope.
@@ -86,7 +92,14 @@ func RepoConfig(modulePath string) *Config {
 		PoolPkg:              p("internal/parallel"),
 		ScratchTypePattern:   regexp.MustCompile(`(?i)(solver|scratch)`),
 		EpsilonHelperPattern: regexp.MustCompile(`(?i)(approx|almost|close|within|eps)`),
-		DocPkgs:              []string{modulePath},
+		HotPathRoots: []string{
+			p("internal/prob") + ".Evaluator.Prob",
+			p("internal/prob") + ".Evaluator.ExprProb",
+			p("internal/prob") + ".Evaluator.CondProbsWith",
+			p("internal/prob") + ".CondScan.CondProbs",
+			p("internal/prob") + ".CondScan.PlanSweeps",
+		},
+		DocPkgs: []string{modulePath},
 	}
 }
 

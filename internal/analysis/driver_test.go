@@ -18,7 +18,7 @@ import (
 // and pool stand-ins and must come out clean.
 var goldenDirs = []string{
 	"determinism", "guarded", "singlewriter", "errdrop",
-	"pool", "goroutine", "floatcmp", "ignore", "doccomment",
+	"pool", "goroutine", "floatcmp", "ignore", "doccomment", "hotalloc",
 }
 
 // goldenConfig mirrors RepoConfig with every contract pointed at the
@@ -35,6 +35,7 @@ func goldenConfig(modulePath string) *Config {
 		PoolPkg:              td + "/pool",
 		ScratchTypePattern:   regexp.MustCompile(`(?i)(solver|scratch)`),
 		EpsilonHelperPattern: regexp.MustCompile(`(?i)(approx|almost|close|within|eps)`),
+		HotPathRoots:         []string{td + "/hotalloc.Scanner.Score"},
 		DocPkgs:              []string{td + "/doccomment"},
 	}
 }

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAllocAnalyzer guards the Pr(φ) kernel's allocation discipline: the
+// compiled clause-state engine got its speedup over the seed by hoisting
+// every per-call map into solver scratch reused across evaluations, and
+// a map allocated inside the hot loop quietly gives that back (interning
+// maps alone were worth tens of percent). The analyzer computes the set
+// of functions statically reachable — direct calls within the package —
+// from the configured hot-path roots (the evaluator entry points the
+// UBS/HHS selection loop calls per candidate) and flags every
+// `make(map...)` and map composite literal inside them.
+//
+// Deliberate allocations stay, visibly: the seed-replica interning map
+// (the LegacyEngine baseline must allocate the way the seed did), the
+// marginal-sweep result sets (the caller owns them), and per-scan —
+// not per-probe — setup each carry a //lint:ignore hotalloc with the
+// reason, so every exception is a reviewed decision rather than drift.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag per-call map allocations in functions reachable from the Pr(phi) hot-loop roots",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Collect this package's function declarations, keyed by their
+	// types.Func, and find which configured roots live here.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	byRef := map[string]*types.Func{}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			byRef[funcRef(fn)] = fn
+		}
+	}
+	var roots []*types.Func
+	for _, ref := range pass.Cfg.HotPathRoots {
+		if fn, ok := byRef[ref]; ok {
+			roots = append(roots, fn)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Breadth-first reachability over direct static calls, staying inside
+	// the package (the hot loop is self-contained; calls through function
+	// variables and interfaces are out of this approximation's reach).
+	// reached maps each function to the first root that reaches it, for
+	// the diagnostic.
+	reached := map[*types.Func]*types.Func{}
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		reached[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		root := reached[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || reached[callee] != nil {
+				return true
+			}
+			if _, local := decls[callee]; local {
+				reached[callee] = root
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for fn, root := range reached {
+		fd := decls[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch expr := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(expr.Fun).(*ast.Ident); ok && id.Name == "make" &&
+					info.Uses[id] == types.Universe.Lookup("make") && isMapType(info.TypeOf(expr)) {
+					pass.Reportf(expr.Pos(),
+						"per-call map allocation in %s, reachable from hot-loop root %s: hoist it into solver scratch reused across evaluations",
+						fn.Name(), root.Name())
+				}
+			case *ast.CompositeLit:
+				if isMapType(info.TypeOf(expr)) {
+					pass.Reportf(expr.Pos(),
+						"per-call map literal in %s, reachable from hot-loop root %s: hoist it into solver scratch reused across evaluations",
+						fn.Name(), root.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// funcRef renders a function the way Config.HotPathRoots names it:
+// "pkgpath.TypeName.Method" for methods (pointer receivers stripped),
+// "pkgpath.FuncName" for package-level functions.
+func funcRef(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if named := recvNamed(fn); named != nil {
+		return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,53 @@
+// Package hotalloc is golden input for the hot-path map-allocation
+// analyzer. The configured root is Scanner.Score; everything it reaches
+// by direct calls is hot, the rest of the package is not.
+package hotalloc
+
+// Scanner is the stand-in for the evaluator whose entry points the
+// selection loop calls per candidate.
+type Scanner struct {
+	scratch map[string]int
+}
+
+// Score is the configured hot-loop root.
+func (s *Scanner) Score(keys []string) int {
+	m := make(map[string]int, len(keys)) // want `per-call map allocation in Score`
+	for _, k := range keys {
+		m[k]++
+	}
+	return s.solve(keys) + len(m)
+}
+
+// solve is reachable from the root through a direct call.
+func (s *Scanner) solve(keys []string) int {
+	seen := map[string]bool{} // want `per-call map literal in solve`
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return s.leaf(len(seen))
+}
+
+// leaf is reachable transitively; the directive documents a deliberate
+// allocation and suppresses the finding.
+func (s *Scanner) leaf(n int) int {
+	//lint:ignore hotalloc result handed to the caller, who owns and keeps it
+	out := map[int]bool{n: true}
+	return len(out)
+}
+
+// Reuse allocates into long-lived scratch outside the hot path: not
+// reachable from the root, so not flagged.
+func (s *Scanner) Reuse() {
+	s.scratch = make(map[string]int)
+}
+
+// cold is never called from the root; its allocation is fine.
+func cold(keys []string) map[string]int {
+	m := make(map[string]int)
+	for _, k := range keys {
+		m[k] = len(k)
+	}
+	return m
+}
+
+var _ = cold

@@ -20,7 +20,7 @@ import (
 //  2. Data correlation: Bayesian-network posteriors versus independent
 //     empirical marginals for the missing values. Measured as F1 under
 //     the default budget.
-func Ablation(s Scale) []*Table {
+func Ablation(s Scale) ([]*Table, error) {
 	e := nbaEnv(s, s.NBASize, s.MissingRate)
 
 	// (1) Tasks to completion with and without answer propagation.
@@ -83,5 +83,5 @@ func Ablation(s Scale) []*Table {
 	corr.AddRow("Bayesian-network posteriors", bn[0], bn[1], bn[2])
 	corr.AddRow("denoising autoencoder (§3 alt.)", auto[0], auto[1], auto[2])
 	corr.AddRow("independent marginals", marg[0], marg[1], marg[2])
-	return []*Table{prop, corr}
+	return []*Table{prop, corr}, nil
 }

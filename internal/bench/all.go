@@ -26,11 +26,15 @@ var Descriptions = map[string]string{
 	"cache":         "component-memoization ablation: crowdsourcing phase with the Pr(phi) cache on vs off",
 	"faults":        "fault tolerance: monetary cost and round inflation vs answer-drop rate, three strategies",
 	"obs":           "observability overhead: crowdsourcing phase timed with tracing/metrics disabled, no-op, aggregated, and fully traced",
+	"scale":         "raw-speed push: sort-based c-table build scaling to 1M objects, and the compiled Pr(phi) engine vs the seed replica on the NBA selection phase",
 }
 
 // Experiments maps experiment ids (as accepted by cmd/benchfig) to their
-// runners.
-var Experiments = map[string]func(Scale) []*Table{
+// runners. A runner returns its tables or the first error that stopped
+// it; Run additionally converts panics escaping legacy helpers into
+// errors, so a failed experiment can never scroll past as a half-printed
+// table.
+var Experiments = map[string]func(Scale) ([]*Table, error){
 	"fig2":          Fig2,
 	"fig3":          Fig3,
 	"fig3-ablation": Fig3Ablation,
@@ -49,6 +53,7 @@ var Experiments = map[string]func(Scale) []*Table{
 	"cache":         CacheExperiment,
 	"faults":        FaultsExperiment,
 	"obs":           ObsOverhead,
+	"scale":         ScaleExperiment,
 }
 
 // presentationOrder lists the experiment ids in the order they appear in
@@ -58,7 +63,7 @@ var Experiments = map[string]func(Scale) []*Table{
 var presentationOrder = []string{
 	"fig2", "fig3", "fig3-ablation", "fig4", "fig5", "fig6", "fig7",
 	"fig8", "fig9", "fig10", "fig11", "table6", "ablation", "motivation",
-	"workers", "cache", "faults", "obs",
+	"workers", "cache", "faults", "obs", "scale",
 }
 
 // Names returns the experiment ids in stable presentation order.
@@ -82,7 +87,9 @@ func Names() []string {
 }
 
 // RunAll executes every experiment at the given scale, streaming tables to
-// w as they complete. It stops at the first experiment that fails.
+// w as they complete. It stops at the first experiment that fails and
+// returns that error — callers (cmd/benchfig) turn it into a non-zero
+// exit.
 func RunAll(w io.Writer, s Scale) error {
 	for _, name := range Names() {
 		if err := Run(w, name, s); err != nil {
@@ -94,13 +101,31 @@ func RunAll(w io.Writer, s Scale) error {
 
 // Run executes one experiment by id and prints its tables.
 func Run(w io.Writer, name string, s Scale) error {
-	exp, ok := Experiments[name]
-	if !ok {
-		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names())
+	tables, err := RunTables(name, s)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(w, "# %s (scale=%s)\n\n", name, s.Name)
-	for _, t := range exp(s) {
+	for _, t := range tables {
 		t.Fprint(w)
 	}
 	return nil
+}
+
+// RunTables executes one experiment by id and returns its tables without
+// printing, for callers that assemble machine-readable reports. Panics
+// from the measurement helpers (dataset generation, a failed run inside a
+// sweep) are converted into errors here — the experiment boundary — so
+// every failure mode reaches the caller as a single error value.
+func RunTables(name string, s Scale) (tables []*Table, err error) {
+	exp, ok := Experiments[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names())
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("bench: experiment %q panicked: %v", name, r)
+		}
+	}()
+	return exp(s)
 }

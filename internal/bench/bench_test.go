@@ -26,6 +26,9 @@ func microScale() Scale {
 	s.Latencies = []int{2, 4}
 	s.NaiveCap = 1e5
 	s.Reps = 1
+	s.ScaleNs = []int{300, 600}
+	s.ScalePerObjectCap = 400
+	s.ScaleSelN = 300
 	return s
 }
 
@@ -64,7 +67,7 @@ func TestNamesCoverAllExperiments(t *testing.T) {
 	if len(names) != len(Experiments) {
 		t.Fatalf("Names() returned %d ids, registry has %d", len(names), len(Experiments))
 	}
-	if names[0] != "fig2" || names[len(names)-1] != "obs" {
+	if names[0] != "fig2" || names[len(names)-1] != "scale" {
 		t.Fatalf("unexpected presentation order: %v", names)
 	}
 }

@@ -24,7 +24,7 @@ const faultOutageProb = 0.05
 // the table: faults cost latency (rounds, retries), not money — unanswered
 // tasks are never charged — and accuracy degrades gracefully rather than
 // collapsing.
-func FaultsExperiment(s Scale) []*Table {
+func FaultsExperiment(s Scale) ([]*Table, error) {
 	t := &Table{
 		Title: fmt.Sprintf("Fault tolerance (NBA n=%d, missing=%.2f): cost and round inflation vs drop rate",
 			s.NBASize, s.MissingRate),
@@ -72,5 +72,5 @@ func FaultsExperiment(s Scale) []*Table {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"faulty cells add a %.2f round-outage probability and MaxRetries=3; spent = budget units charged (charge-on-answer: only delivered answers cost money); round infl = rounds vs the drop=0 baseline of the same strategy",
 		faultOutageProb))
-	return []*Table{t}
+	return []*Table{t}, nil
 }

@@ -13,7 +13,7 @@ import (
 // bitwise dominator derivation) versus the pairwise Baseline, across
 // missing rates, on both datasets. Expected shape: Get-CTable faster
 // everywhere, both growing with the missing rate.
-func Fig2(s Scale) []*Table {
+func Fig2(s Scale) ([]*Table, error) {
 	out := make([]*Table, 0, 2)
 	for _, ds := range []struct {
 		name  string
@@ -36,7 +36,7 @@ func Fig2(s Scale) []*Table {
 		}
 		out = append(out, t)
 	}
-	return out
+	return out, nil
 }
 
 func timeBuild(e *env, alpha float64, pairwise bool) time.Duration {
@@ -51,7 +51,7 @@ func timeBuild(e *env, alpha float64, pairwise bool) time.Duration {
 // enumeration state space exceeds Scale.NaiveCap are excluded from both
 // sides (the note reports how many); Naive is exponential, so at paper
 // scale it simply cannot run unbounded.
-func Fig3(s Scale) []*Table {
+func Fig3(s Scale) ([]*Table, error) {
 	out := make([]*Table, 0, 2)
 	for _, ds := range []struct {
 		name  string
@@ -98,7 +98,7 @@ func Fig3(s Scale) []*Table {
 		}
 		out = append(out, t)
 	}
-	return out
+	return out, nil
 }
 
 func timeProb(conds []*ctable.Condition, f func(*ctable.Condition) float64) time.Duration {
@@ -113,7 +113,7 @@ func timeProb(conds []*ctable.Condition, f func(*ctable.Condition) float64) time
 // variants, quantifying the design choices DESIGN.md calls out
 // (connected-component decomposition and most-frequent-variable
 // branching) and the MonteCarlo/ApproxCount stand-in.
-func Fig3Ablation(s Scale) []*Table {
+func Fig3Ablation(s Scale) ([]*Table, error) {
 	e := nbaEnv(s, s.NBASize, s.MissingRate)
 	ct := ctable.Build(e.incomplete, ctable.BuildOptions{Alpha: s.NBAAlpha})
 	var conds []*ctable.Condition
@@ -151,5 +151,5 @@ func Fig3Ablation(s Scale) []*Table {
 			return full.MonteCarlo(c, 1000, rng)
 		})))
 	t.AddRow("Naive enumeration", fmtDur(timeProb(conds, full.Naive)))
-	return []*Table{t}
+	return []*Table{t}, nil
 }

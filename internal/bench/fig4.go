@@ -19,7 +19,7 @@ import (
 // tasks per round, matching the paper's setup. Expected shape: BayesCrowd
 // needs about an order of magnitude fewer tasks and rounds and is up to
 // two orders of magnitude faster, with the gap widening in cardinality.
-func Fig4(s Scale) []*Table {
+func Fig4(s Scale) ([]*Table, error) {
 	time4 := &Table{
 		Title:  "Fig 4(a): execution time vs NBA cardinality (2 crowd attributes)",
 		Header: []string{"|O|", "FBS", "UBS", "HHS", "CrowdSky", "Unary[22]"},
@@ -94,5 +94,5 @@ func Fig4(s Scale) []*Table {
 		rounds4.AddRow(fmt.Sprintf("%d", n), rounds[0], rounds[1], rounds[2], fmt.Sprintf("%d", res.Rounds), fmt.Sprintf("%d", uRes.Rounds))
 		f1s.AddRow(fmt.Sprintf("%d", n), f1[0], f1[1], f1[2], fmtF(csF1), fmtF(uF1))
 	}
-	return []*Table{time4, tasks4, rounds4, f1s}
+	return []*Table{time4, tasks4, rounds4, f1s}, nil
 }

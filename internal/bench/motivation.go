@@ -16,7 +16,7 @@ import (
 // true or Pr > 0.5), and (c) BayesCrowd
 // at the default budget. Machine power alone plateaus; the budget buys the
 // rest.
-func Motivation(s Scale) []*Table {
+func Motivation(s Scale) ([]*Table, error) {
 	t := &Table{
 		Title:  "Motivation (NBA): what crowdsourcing buys over machine-only methods",
 		Header: []string{"missing", "ISkyline[5] F1", "BayesCrowd B=1 F1", fmt.Sprintf("BayesCrowd B=%d F1", s.NBABudget)},
@@ -39,5 +39,5 @@ func Motivation(s Scale) []*Table {
 	t.Notes = append(t.Notes,
 		"ISkyline answers a different query (dominance over mutually observed dimensions only), so no budget can repair it",
 	)
-	return []*Table{t}
+	return []*Table{t}, nil
 }

@@ -23,7 +23,7 @@ import (
 // buffer. The answer set must be identical in every mode — observability
 // may cost time but never changes a decision — and the experiment
 // re-verifies that on every row.
-func ObsOverhead(s Scale) []*Table {
+func ObsOverhead(s Scale) ([]*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Observability overhead (NBA n=%d, HHS): crowdsourcing phase by instrumentation mode", s.NBASize),
 		Header: []string{"mode", "phase", "overhead"},
@@ -104,7 +104,7 @@ func ObsOverhead(s Scale) []*Table {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"last traced run emitted %d events (%d bytes of JSONL); quick-scale timings are noisy — overhead within a few percent of zero is measurement jitter",
 		bytes.Count(buf.Bytes(), []byte("\n")), buf.Len()))
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // overheadCell formats the instrumented-over-baseline slowdown as a

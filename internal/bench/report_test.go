@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineReport() *Report {
+	return &Report{
+		Scale: "quick",
+		Metrics: map[string]float64{
+			"scale.round_speedup_vs_seed":    2.5,
+			"scale.sel_speedup_vs_seed":      1.7,
+			"cache.sel_speedup_cache_vs_off": 1.5,
+		},
+		Floors: map[string]float64{
+			"scale.round_speedup_vs_seed": 2.0,
+		},
+	}
+}
+
+func TestComparePasses(t *testing.T) {
+	cur := baselineReport()
+	cur.Metrics["scale.round_speedup_vs_seed"] = 2.3 // within 20% of 2.5, above floor
+	if problems := Compare(cur, baselineReport(), 0.20); len(problems) != 0 {
+		t.Fatalf("expected clean gate, got %v", problems)
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	cur := baselineReport()
+	cur.Metrics["cache.sel_speedup_cache_vs_off"] = 1.0 // below 1.5 * 0.8
+	problems := Compare(cur, baselineReport(), 0.20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "cache.sel_speedup_cache_vs_off") {
+		t.Fatalf("expected one cache regression, got %v", problems)
+	}
+}
+
+func TestCompareFailsBelowFloor(t *testing.T) {
+	base := baselineReport()
+	base.Metrics["scale.round_speedup_vs_seed"] = 2.2 // band floor 1.76...
+	cur := baselineReport()
+	cur.Metrics["scale.round_speedup_vs_seed"] = 1.9 // ...but the absolute floor is 2.0
+	problems := Compare(cur, base, 0.20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "absolute floor") {
+		t.Fatalf("expected a floor breach, got %v", problems)
+	}
+}
+
+func TestCompareFailsOnMissingMetric(t *testing.T) {
+	cur := baselineReport()
+	delete(cur.Metrics, "scale.sel_speedup_vs_seed")
+	problems := Compare(cur, baselineReport(), 0.20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing") {
+		t.Fatalf("expected a missing-metric failure, got %v", problems)
+	}
+}
+
+func TestCompareCrossScaleSkipsBand(t *testing.T) {
+	// A paper-scale nightly compared against the quick-scale baseline:
+	// the select-only plateau shifts with α, so the relative band must
+	// not apply — but the absolute floors still do. The numbers mirror a
+	// measured paper run (sel 1.34 vs quick baseline 1.71).
+	cur := &Report{
+		Scale: "paper",
+		Metrics: map[string]float64{
+			"scale.round_speedup_vs_seed": 2.28,
+			"scale.sel_speedup_vs_seed":   1.34,
+		},
+		Floors: map[string]float64{
+			"scale.round_speedup_vs_seed": 2.0,
+			"scale.sel_speedup_vs_seed":   1.25,
+		},
+	}
+	base := baselineReport()
+	base.Metrics["scale.sel_speedup_vs_seed"] = 1.71
+	if problems := Compare(cur, base, 0.20); len(problems) != 0 {
+		t.Fatalf("cross-scale band applied: %v", problems)
+	}
+	// Floors remain binding across scales.
+	cur.Metrics["scale.round_speedup_vs_seed"] = 1.9
+	problems := Compare(cur, base, 0.20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "absolute floor") {
+		t.Fatalf("cross-scale floor not enforced: %v", problems)
+	}
+}
+
+func TestCompareSkipsExperimentsNotRun(t *testing.T) {
+	// A partial run (scale only) must not be failed for cache metrics it
+	// never measured — but still answers for the experiments it ran.
+	cur := &Report{
+		Scale: "quick",
+		Metrics: map[string]float64{
+			"scale.round_speedup_vs_seed": 2.4,
+			"scale.sel_speedup_vs_seed":   1.7,
+		},
+	}
+	if problems := Compare(cur, baselineReport(), 0.20); len(problems) != 0 {
+		t.Fatalf("partial run flagged for unrun experiment: %v", problems)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := baselineReport()
+	data, err := r.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != r.Scale || len(back.Metrics) != len(r.Metrics) || len(back.Floors) != len(r.Floors) {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestRunTablesRecoversPanics(t *testing.T) {
+	Experiments["zz-panic"] = func(Scale) ([]*Table, error) { panic("boom") }
+	defer delete(Experiments, "zz-panic")
+	if _, err := RunTables("zz-panic", Quick()); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+}

@@ -49,7 +49,7 @@ func labelsFloat(xs []float64) []string {
 
 // Fig5 — BayesCrowd cost vs budget (§7.4): accuracy climbs and time grows
 // with budget; FBS fastest, UBS most accurate, HHS between.
-func Fig5(s Scale) []*Table {
+func Fig5(s Scale) ([]*Table, error) {
 	var out []*Table
 	nba := nbaEnv(s, s.NBASize, s.MissingRate)
 	out = append(out, sweepTables("Fig 5 (NBA): cost vs budget", "budget", labelsInt(s.NBABudgets),
@@ -65,12 +65,12 @@ func Fig5(s Scale) []*Table {
 			opt.Budget = s.SynBudgets[i]
 			return runBayesReps(syn, opt, 1.0, s.Seed, s.Reps)
 		})...)
-	return out
+	return out, nil
 }
 
 // Fig6 — BayesCrowd cost vs missing rate (§7.4): time grows and accuracy
 // drops as more values go missing under a fixed budget.
-func Fig6(s Scale) []*Table {
+func Fig6(s Scale) ([]*Table, error) {
 	var out []*Table
 	out = append(out, sweepTables("Fig 6 (NBA): cost vs missing rate", "missing", labelsFloat(s.MissingRates),
 		func(i int, strat core.Strategy) outcome {
@@ -82,13 +82,13 @@ func Fig6(s Scale) []*Table {
 			e := synEnv(s, s.SynSize, s.MissingRates[i])
 			return runBayesReps(e, synOpts(s, strat), 1.0, s.Seed, s.Reps)
 		})...)
-	return out
+	return out, nil
 }
 
 // Fig7 — effect of the HHS parameter m (§7.4): HHS accuracy approaches
 // UBS as m grows, at increasing time cost; FBS and UBS are flat
 // references.
-func Fig7(s Scale) []*Table {
+func Fig7(s Scale) ([]*Table, error) {
 	var out []*Table
 	for _, ds := range []struct {
 		name string
@@ -114,12 +114,12 @@ func Fig7(s Scale) []*Table {
 		t.AddRow("UBS(ref)", fmtDur(ubs.elapsed), fmtF(ubs.f1))
 		out = append(out, t)
 	}
-	return out
+	return out, nil
 }
 
 // Fig8 — effect of the pruning threshold α (§7.4): larger α keeps more
 // complex conditions, costing time but improving accuracy slightly.
-func Fig8(s Scale) []*Table {
+func Fig8(s Scale) ([]*Table, error) {
 	var out []*Table
 	nba := nbaEnv(s, s.NBASize, s.MissingRate)
 	out = append(out, sweepTables("Fig 8 (NBA): effect of alpha", "alpha", labelsFloat(s.Alphas),
@@ -135,12 +135,12 @@ func Fig8(s Scale) []*Table {
 			opt.Alpha = s.Alphas[i]
 			return runBayesReps(syn, opt, 1.0, s.Seed, s.Reps)
 		})...)
-	return out
+	return out, nil
 }
 
 // Fig9 — effect of worker accuracy (§7.4): query accuracy rises with
 // worker accuracy; time is insensitive to it.
-func Fig9(s Scale) []*Table {
+func Fig9(s Scale) ([]*Table, error) {
 	var out []*Table
 	nba := nbaEnv(s, s.NBASize, s.MissingRate)
 	out = append(out, sweepTables("Fig 9 (NBA): effect of worker accuracy", "accuracy", labelsFloat(s.Accuracies),
@@ -152,35 +152,35 @@ func Fig9(s Scale) []*Table {
 		func(i int, strat core.Strategy) outcome {
 			return runBayesReps(syn, synOpts(s, strat), s.Accuracies[i], s.Seed, s.Reps)
 		})...)
-	return out
+	return out, nil
 }
 
 // Fig10 — effect of latency (§7.4, Synthetic): with a fixed budget, both
 // time and accuracy are largely insensitive to the number of rounds.
-func Fig10(s Scale) []*Table {
+func Fig10(s Scale) ([]*Table, error) {
 	syn := synEnv(s, s.SynSize, s.MissingRate)
 	return sweepTables("Fig 10 (Synthetic): effect of latency", "rounds", labelsInt(s.Latencies),
 		func(i int, strat core.Strategy) outcome {
 			opt := synOpts(s, strat)
 			opt.Latency = s.Latencies[i]
 			return runBayesReps(syn, opt, 1.0, s.Seed, s.Reps)
-		})
+		}), nil
 }
 
 // Fig11 — effect of data cardinality (§7.4, Synthetic): time grows with
 // cardinality while accuracy slowly degrades under the fixed budget.
-func Fig11(s Scale) []*Table {
+func Fig11(s Scale) ([]*Table, error) {
 	return sweepTables("Fig 11 (Synthetic): effect of data cardinality", "|O|", labelsInt(s.SynCardinalities),
 		func(i int, strat core.Strategy) outcome {
 			e := synEnv(s, s.SynCardinalities[i], s.MissingRate)
 			return runBayesReps(e, synOpts(s, strat), 1.0, s.Seed, s.Reps)
-		})
+		}), nil
 }
 
 // Table6 — the live-AMT practicality study (§7.5), simulated with
 // high-accuracy workers on the NBA defaults. Paper values: FBS 0.956,
 // UBS 0.979, HHS 0.978.
-func Table6(s Scale) []*Table {
+func Table6(s Scale) ([]*Table, error) {
 	e := nbaEnv(s, s.NBASize, s.MissingRate)
 	t := &Table{
 		Title:  fmt.Sprintf("Table 6: simulated AMT study (worker accuracy %.2f)", s.AMTAccuracy),
@@ -193,5 +193,5 @@ func Table6(s Scale) []*Table {
 	}
 	t.AddRow("F1 score", f1s[0], f1s[1], f1s[2])
 	t.Notes = append(t.Notes, "paper (live AMT): FBS 0.956, UBS 0.979, HHS 0.978")
-	return []*Table{t}
+	return []*Table{t}, nil
 }

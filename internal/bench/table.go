@@ -20,10 +20,25 @@ type Table struct {
 	Rows   [][]string
 	// Notes records caveats such as capped comparisons — no silent limits.
 	Notes []string
+	// Metrics are the table's machine-readable results, keyed by a short
+	// snake_case name. By convention every metric is a dimensionless
+	// higher-is-better ratio measured within one process (e.g. a speedup
+	// of the compiled engine over the seed replica), which is what lets
+	// the CI regression gate compare runs across machines; absolute times
+	// stay in the printed cells.
+	Metrics map[string]float64
 }
 
 // AddRow appends a row of already-formatted cells.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// SetMetric records a machine-readable result on the table.
+func (t *Table) SetMetric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = map[string]float64{}
+	}
+	t.Metrics[name] = v
+}
 
 // Fprint renders the table with aligned columns.
 func (t *Table) Fprint(w io.Writer) {

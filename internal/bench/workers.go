@@ -20,7 +20,7 @@ import (
 // the experiment re-verifies that guarantee on the measured runs and
 // reports it alongside the timings, so a regression shows up in the
 // table rather than silently skewing the curve.
-func WorkersScaling(s Scale) []*Table {
+func WorkersScaling(s Scale) ([]*Table, error) {
 	e := nbaEnv(s, s.NBASize, s.MissingRate)
 	t := &Table{
 		Title: fmt.Sprintf("Workers (NBA n=%d, missing=%.2f): parallel scaling of c-table build and Pr(φ)",
@@ -89,7 +89,7 @@ func WorkersScaling(s Scale) []*Table {
 		t.Notes = append(t.Notes,
 			"results bit-identical across all worker counts (c-table, Pr(φ), answer set)")
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 func speedupCell(base, d time.Duration) string {

@@ -98,6 +98,21 @@ type Options struct {
 	// answer-propagation ablation.
 	NoInference bool
 
+	// ApproxThreshold switches Pr(φ) model counting from exact ADPLL to
+	// the ApproxCount estimator for any connected component with more
+	// than this many distinct variables (see prob.Options.ApproxThreshold
+	// for the determinism and error-bound contract: estimates are seeded
+	// from the component fingerprint, so results stay bit-identical at
+	// any worker count, and on the seeded benchmark components the
+	// estimate stays within 0.05 absolute of the exact probability).
+	// 0 — the default — counts every component exactly.
+	ApproxThreshold int
+	// LegacyProb runs Pr(φ) through the original clause-rewriting
+	// recursion instead of the compiled bitset clause-state engine. The
+	// two are bit-identical; the switch exists for equivalence tests and
+	// the benchmark harness's in-run speedup measurement.
+	LegacyProb bool
+
 	// NoCache disables the connected-component probability cache the
 	// crowdsourcing phase keeps across Pr(φ) evaluations (see
 	// prob.ComponentCache) — the cache ablation. Cached and uncached runs
@@ -191,6 +206,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.ReaskConflicts < 0 {
 		return o, fmt.Errorf("core: ReaskConflicts %d must be non-negative", o.ReaskConflicts)
 	}
+	if o.ApproxThreshold < 0 {
+		return o, fmt.Errorf("core: ApproxThreshold %d must be non-negative", o.ApproxThreshold)
+	}
 	if o.Rng == nil {
 		o.Rng = rand.New(rand.NewSource(1))
 	}
@@ -257,6 +275,12 @@ type Result struct {
 	// Cache reports the component cache's hit/miss/eviction/invalidation
 	// counters for the run (all zero under Options.NoCache).
 	Cache prob.CacheStats
+	// ApproxComponents counts the connected components whose probability
+	// was estimated by the ApproxCount fallback rather than counted
+	// exactly (always zero unless Options.ApproxThreshold is set). Like
+	// the cache counters, the count depends on scheduling when the
+	// component cache is shared — the estimated values themselves do not.
+	ApproxComponents int64
 	// SelectTime and ProbTime break the crowdsourcing phase's wall time
 	// into its two model-counting bills: cumulative task selection (the
 	// UBS/HHS candidate scoring the component cache accelerates) and

@@ -83,8 +83,10 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		cCacheMisses = reg.Counter("cache.misses")
 		cCacheEvict  = reg.Counter("cache.evicted")
 		cCacheInval  = reg.Counter("cache.invalidated")
+		cApprox      = reg.Counter("prob.approx.components")
 	)
 	var prevCache prob.CacheStats
+	var prevApprox int64
 
 	know := ctable.NewKnowledge(d)
 	know.NoInference = opt.NoInference
@@ -95,7 +97,11 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	for v, dist := range base {
 		eff[v] = dist
 	}
-	ev := &prob.Evaluator{Dists: eff, Opt: prob.Options{NoCache: opt.NoCache}}
+	ev := &prob.Evaluator{Dists: eff, Opt: prob.Options{
+		NoCache:         opt.NoCache,
+		ApproxThreshold: opt.ApproxThreshold,
+		LegacyEngine:    opt.LegacyProb,
+	}}
 	if !opt.NoCache {
 		// The component cache persists across every Pr(φ) evaluation of
 		// the run — the initial fan-out, the UBS/HHS candidate scans, and
@@ -438,6 +444,11 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 			cCacheInval.Add(int64(s.Invalidated - prevCache.Invalidated))
 			prevCache = s
 		}
+		if reg != nil {
+			n := ev.ApproxComponents()
+			cApprox.Add(n - prevApprox)
+			prevApprox = n
+		}
 		if hRound != nil {
 			hRound.Observe(time.Since(roundStart))
 		}
@@ -501,6 +512,10 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 			cCacheEvict.Add(int64(result.Cache.Evicted - prevCache.Evicted))
 			cCacheInval.Add(int64(result.Cache.Invalidated - prevCache.Invalidated))
 		}
+	}
+	result.ApproxComponents = ev.ApproxComponents()
+	if reg != nil {
+		cApprox.Add(result.ApproxComponents - prevApprox)
 	}
 	rec.Emit(obs.Event{Kind: obs.KindRunEnd, N: result.TasksPosted, M: result.Rounds})
 	return result, nil

@@ -35,11 +35,17 @@ type BuildOptions struct {
 	// Baseline (Figure 2's comparator) instead of the sorted/bitwise
 	// index. The resulting c-table is identical.
 	Pairwise bool
-	// Workers bounds the goroutines the per-object dominator scan and
-	// CNF construction fan out across: <= 0 means one per available CPU,
-	// 1 keeps the build fully sequential. Objects are independent and
-	// every result lands in its own slot, so the c-table is identical at
-	// any setting.
+	// PerObject switches off the signature-group partitioning (see
+	// sortbuild.go) and derives every object's dominator set with its own
+	// DomIndex intersection — the pre-partitioning behaviour, kept
+	// selectable for equivalence tests and the build benchmark. The
+	// resulting c-table is identical.
+	PerObject bool
+	// Workers bounds the goroutines the dominator derivation and CNF
+	// construction fan out across: <= 0 means one per available CPU,
+	// 1 keeps the build fully sequential. Groups (objects, under
+	// PerObject or Pairwise) are independent and every result lands in
+	// its own slot, so the c-table is identical at any setting.
 	Workers int
 }
 
@@ -56,6 +62,20 @@ func Build(d *dataset.Dataset, opt BuildOptions) *CTable {
 	limit := -1
 	if opt.Alpha > 0 {
 		limit = int(opt.Alpha * float64(n))
+	}
+
+	// Default path: partition objects into signature groups and derive one
+	// dominator set per group (sortbuild.go) — near-linearithmic where the
+	// per-object scan below is quadratic. The per-object and pairwise
+	// paths remain selectable and produce identical tables.
+	if !opt.Pairwise && !opt.PerObject {
+		buildSorted(d, ix, opt, ct, limit)
+		for _, pruned := range ct.PrunedByAlpha {
+			if pruned {
+				ct.Pruned++
+			}
+		}
+		return ct
 	}
 
 	// Objects partition across the pool; each worker owns one dominator

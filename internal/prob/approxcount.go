@@ -3,7 +3,7 @@ package prob
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"bayescrowd/internal/ctable"
 )
@@ -52,9 +52,39 @@ func clone2(clauses [][]ctable.Expr) [][]ctable.Expr {
 	return out
 }
 
+// approxComponent is the ApproxThreshold fallback of componentProb: one
+// telescoping estimate over a connected component too wide for exact
+// counting, seeded from the component's canonical cache key. Seeding from
+// the fingerprint — never from a shared, schedule-consumed source — is
+// what keeps the estimate a pure function of the component, and thus
+// identical at any worker count or cache state.
+func (s *solver) approxComponent(comp [][]cexpr, key []byte) float64 {
+	samples := s.opt.ApproxSamples
+	if samples <= 0 {
+		samples = DefaultApproxSamples
+	}
+	// FNV-1a over the canonical key.
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	rng := rand.New(rand.NewSource(int64(h)))
+	s.nApprox++
+	return s.approxCount(comp, samples, rng)
+}
+
 // approxCount runs one telescoping estimate over the solver's interned
-// clauses.
+// clauses. The assignments it fixes are reverted on return, so it can
+// run mid-evaluation (the ApproxThreshold fallback) without corrupting
+// sibling components.
 func (s *solver) approxCount(clauses [][]cexpr, samplesPerLevel int, rng *rand.Rand) float64 {
+	var fixed []int32
+	defer func() {
+		for _, v := range fixed {
+			s.assign[v] = -1
+		}
+	}()
 	estimate := 1.0
 	for {
 		residual, value, decided := s.simplify(clauses)
@@ -104,6 +134,7 @@ func (s *solver) approxCount(clauses [][]cexpr, samplesPerLevel int, rng *rand.R
 		// Pr(φ ∧ v=a) / P(v=a | φ) and Pr(φ ∧ v=a) = p(a)·Pr(φ | v=a).
 		estimate *= s.dists[v][best] / share
 		s.assign[v] = int32(best)
+		fixed = append(fixed, v)
 		clauses = residual
 	}
 }
@@ -112,28 +143,32 @@ func (s *solver) approxCount(clauses [][]cexpr, samplesPerLevel int, rng *rand.R
 // the unassigned variables) by sampling from the variable distributions
 // and repairing violated clauses with a bounded greedy local search —
 // the multi-valued analogue of SampleSat's WalkSat phase. ok is false if
-// no satisfying assignment was reached within the repair budget.
-func (s *solver) sampleSat(clauses [][]cexpr, rng *rand.Rand) (map[int32]int32, bool) {
+// no satisfying assignment was reached within the repair budget. The
+// returned assignment is dense solver scratch indexed by var id, valid
+// until the next sampleSat call.
+func (s *solver) sampleSat(clauses [][]cexpr, rng *rand.Rand) ([]int32, bool) {
 	// Collect the variables of the residual in deterministic (sorted)
-	// order: drawing the initial assignment while ranging over a map
-	// would consume the seeded rng in map-iteration order and make the
-	// estimator irreproducible across runs.
-	seen := map[int32]bool{}
-	var varList []int32
+	// order: drawing the initial assignment in discovery order would tie
+	// the seeded rng's consumption to clause layout rather than variable
+	// identity. The seen-set rides the solver's epoch-stamped scratch —
+	// this runs under the hot loop's no-map-allocation discipline.
+	s.epoch++
+	varList := s.satVars[:0]
 	for _, cl := range clauses {
 		for _, e := range cl {
-			if !seen[e.x] {
-				seen[e.x] = true
+			if s.seenEp[e.x] != s.epoch {
+				s.seenEp[e.x] = s.epoch
 				varList = append(varList, e.x)
 			}
-			if e.y >= 0 && !seen[e.y] {
-				seen[e.y] = true
+			if e.y >= 0 && s.seenEp[e.y] != s.epoch {
+				s.seenEp[e.y] = s.epoch
 				varList = append(varList, e.y)
 			}
 		}
 	}
-	sort.Slice(varList, func(a, b int) bool { return varList[a] < varList[b] })
-	assignment := make(map[int32]int32, len(varList))
+	s.satVars = varList
+	slices.Sort(varList)
+	assignment := s.satAssign
 	for _, v := range varList {
 		assignment[v] = int32(sampleDist(rng, s.dists[v]))
 	}

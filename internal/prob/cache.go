@@ -213,6 +213,7 @@ func (c *ComponentCache) storeEntry(key []byte, e cacheEntry) {
 // map, preserving order and dropping duplicates. Called with mu held.
 func (sh *cacheShard) compactFIFO() {
 	kept := make([]string, 0, len(sh.m))
+	//lint:ignore hotalloc compaction is rare and amortized over many stores; the dedup set is not per-evaluation
 	seen := make(map[string]bool, len(sh.m))
 	for _, k := range sh.fifo {
 		if _, live := sh.m[k]; live && !seen[k] {

@@ -79,6 +79,7 @@ func (s *solver) allMarginals(clauses [][]cexpr) (float64, marginalSet) {
 		sufs[i] = suf
 		suf *= vals[i]
 	}
+	//lint:ignore hotalloc marginal result set handed to the caller, who owns and keeps it
 	out := marginalSet{}
 	pre := 1.0
 	for i, set := range sets {
@@ -126,6 +127,7 @@ func (s *solver) branchMarginals(clauses [][]cexpr, v int32) (float64, marginalS
 	if s.margNeed[v] {
 		mv = make([]float64, len(dv))
 	}
+	//lint:ignore hotalloc marginal result set handed to the caller, who owns and keeps it
 	out := marginalSet{}
 	total := 0.0
 	for a, pa := range dv {
@@ -190,6 +192,7 @@ func (s *solver) leafMarginals(clauses [][]cexpr) marginalSet {
 		sufs[i] = sufs[i+1] * ps[i]
 	}
 
+	//lint:ignore hotalloc marginal result set handed to the caller, who owns and keeps it
 	out := marginalSet{}
 	pre := 1.0
 	var qc []float64 // per-literal complement probabilities, reused

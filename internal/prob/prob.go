@@ -31,6 +31,7 @@ package prob
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"bayescrowd/internal/ctable"
 	"bayescrowd/internal/obs"
@@ -60,7 +61,31 @@ type Options struct {
 	// decides whether a component's probability is looked up or
 	// recomputed.
 	NoCache bool
+	// LegacyEngine solves branched components with the original
+	// clause-rewriting recursion instead of the compiled bitset
+	// clause-state engine (state.go). The two engines are bit-identical;
+	// the flag exists for the equivalence tests that prove it and for the
+	// benchmark that measures the speedup within one process.
+	LegacyEngine bool
+	// ApproxThreshold, when > 0, caps the exact solver: a connected
+	// component with more than ApproxThreshold distinct variables is
+	// estimated by the generalised weighted ApproxCount sampler instead
+	// of being counted exactly. The estimator is seeded from the
+	// component's canonical fingerprint, so both the fallback decision
+	// and the estimate are pure functions of the component — identical
+	// at any worker count, schedule, and cache state. See
+	// Evaluator.ApproxComponents for the documented error bound. Zero
+	// (the default) means always exact. The threshold is per component,
+	// so it has no effect under NoComponents.
+	ApproxThreshold int
+	// ApproxSamples is the per-variable sampling effort of the
+	// ApproxThreshold fallback; <= 0 means DefaultApproxSamples.
+	ApproxSamples int
 }
+
+// DefaultApproxSamples is the samples-per-level effort of the
+// ApproxThreshold fallback when Options.ApproxSamples is unset.
+const DefaultApproxSamples = 200
 
 // Evaluator computes condition probabilities against a fixed set of
 // variable distributions.
@@ -92,7 +117,26 @@ type Evaluator struct {
 	// (ProbAll's dispatch, CondScan.PlanSweeps) — never from inside a
 	// fan-out — so the trace stays deterministic at any worker count.
 	Obs *obs.Recorder
+	// approxN counts connected components resolved by the ApproxThreshold
+	// fallback. Atomic because evaluations run inside parallel fan-outs.
+	approxN atomic.Int64
 }
+
+// ApproxComponents returns how many connected-component solves fell back
+// to the approximate estimator (Options.ApproxThreshold) since the
+// evaluator was created. The probability values themselves are
+// deterministic (fingerprint-seeded); the invocation count is not when a
+// component cache is shared across workers — like cache hit statistics,
+// it depends on which worker reaches a component first — so treat it as
+// an observability figure, not a traced quantity.
+//
+// Error bound: the estimator is only asymptotically unbiased and carries
+// no worst-case guarantee. Empirically, at the DefaultApproxSamples
+// effort, the absolute error on the seeded benchmark components stays
+// within 0.05 of the exact probability (asserted by the approx fallback
+// tests); treat crossings of the 0.5 answer threshold by less than that
+// margin as undecided when ApproxThreshold is enabled.
+func (ev *Evaluator) ApproxComponents() int64 { return ev.approxN.Load() }
 
 // NewEvaluator returns an evaluator over the given distributions with
 // default options.
@@ -164,8 +208,18 @@ func (ev *Evaluator) Prob(c *ctable.Condition) float64 {
 func (ev *Evaluator) probClauses(clauses [][]ctable.Expr) float64 {
 	s, interned := newSolver(ev, clauses)
 	p := s.adpllTop(interned, ev.activeCache())
+	ev.drainApprox(s)
 	s.release()
 	return p
+}
+
+// drainApprox moves the solver's approximate-fallback count onto the
+// evaluator's atomic counter before the solver returns to the pool.
+func (ev *Evaluator) drainApprox(s *solver) {
+	if s.nApprox > 0 {
+		ev.approxN.Add(int64(s.nApprox))
+		s.nApprox = 0
+	}
 }
 
 // probGroups returns the probability of the conjunction of several clause
@@ -176,6 +230,7 @@ func (ev *Evaluator) probClauses(clauses [][]ctable.Expr) float64 {
 func (ev *Evaluator) probGroups(groups [][][]ctable.Expr, unit *ctable.Expr) float64 {
 	s, interned := newSolverGroups(ev, groups, unit)
 	p := s.adpllTop(interned, ev.activeCache())
+	ev.drainApprox(s)
 	s.release()
 	return p
 }

@@ -185,6 +185,7 @@ func (cs *CondScan) PlanSweeps(exprs []ctable.Expr) {
 		return
 	}
 	counts := make([]int, len(cs.comps))
+	//lint:ignore hotalloc once per sweep plan (per selection pass), not per candidate probe
 	needed := make(map[ctable.Var]bool, len(exprs))
 	for _, e := range exprs {
 		if e.Kind == ctable.VarGTVar {
@@ -246,11 +247,13 @@ func (cs *CondScan) planComp(g int, needed map[ctable.Var]bool, nCand int) {
 	}
 
 	for _, x := range miss {
-		s.margNeed[s.ids[x]] = true
+		id, _ := s.varID(x)
+		s.margNeed[id] = true
 	}
-	total, m := s.allMarginals(interned)
+	total, m := s.marginals(interned)
 	for _, x := range miss {
-		vec := m[s.ids[x]]
+		id, _ := s.varID(x)
+		vec := m[id]
 		if vec == nil {
 			// The component collapsed before constraining x (or has zero
 			// probability): the joint is the independent product.
@@ -273,6 +276,7 @@ func (cs *CondScan) planComp(g int, needed map[ctable.Var]bool, nCand int) {
 // read-only from here on.
 func (cs *CondScan) addSweep(x ctable.Var, vec []float64) {
 	if cs.sweeps == nil {
+		//lint:ignore hotalloc once per scan construction; probes only read it
 		cs.sweeps = make(map[ctable.Var][]float64)
 	}
 	cs.sweeps[x] = vec

@@ -1,0 +1,326 @@
+package prob
+
+import "bayescrowd/internal/ctable"
+
+// All-variable marginal sweeps on the compiled clause-state engine
+// (state.go). This is marginals.go's recursion — branch nodes mix child
+// vectors, decomposition nodes scale by sibling values, direct-rule
+// leaves yield vectors in closed form — run over the literal arena
+// instead of per-node rewritten clause copies. Every scalar step reuses
+// the proven stDirectProb/stComponents/stPickVar mirrors and every
+// vector step performs the legacy pass's arithmetic on the same
+// effective literal forms in the same order, so both results are
+// bit-identical to the legacy pass (state_equiv_test.go pins the
+// CondProbs path end to end).
+
+// marginals is the engine dispatch for the all-variable sweep pass: the
+// legacy clause-rewriting recursion under Options.LegacyEngine, the
+// compiled state engine otherwise. Entered only on a fresh solver (empty
+// assignment), like adpllTop.
+func (s *solver) marginals(interned [][]cexpr) (float64, marginalSet) {
+	if s.opt.LegacyEngine {
+		return s.allMarginals(interned)
+	}
+	s.stCompile(interned)
+	s.stTrail = s.stTrail[:0]
+	s.stIdx = s.stIdx[:0]
+	for c := range interned {
+		s.stIdx = append(s.stIdx, int32(c))
+	}
+	clauses := s.stIdx[:len(interned)]
+	p, m := s.stAllMarginals(clauses)
+	s.stIdx = s.stIdx[:0]
+	return p, m
+}
+
+// stEffLit returns the literal as the legacy engine's substitution would
+// have rewritten it under the current assignment: a var-vs-var literal
+// with one side assigned reads as the constant comparison on the other
+// side. A live literal of any other kind has its variable unassigned, so
+// it is returned unchanged.
+func (s *solver) stEffLit(e cexpr) cexpr {
+	if e.kind == ctable.VarGTVar {
+		if x := s.assign[e.x]; x >= 0 {
+			return cexpr{kind: ctable.VarLTConst, x: e.y, y: -1, c: x}
+		}
+		if y := s.assign[e.y]; y >= 0 {
+			return cexpr{kind: ctable.VarGTConst, x: e.x, y: -1, c: y}
+		}
+	}
+	return e
+}
+
+// stLitProb returns a live literal's effective probability through the
+// per-literal memos; the memoized floats are bit-identical to the legacy
+// engine's exprProb over the rewritten literal.
+func (s *solver) stLitProb(ei int32, e cexpr) float64 {
+	if e.kind == ctable.VarGTVar {
+		if s.assign[e.x] >= 0 {
+			return s.stEffHalf(ei, e, true)
+		}
+		if s.assign[e.y] >= 0 {
+			return s.stEffHalf(ei, e, false)
+		}
+	}
+	return s.stProbUn(ei, e)
+}
+
+// stAllMarginals mirrors allMarginals over a clause-index list: filter
+// the satisfied clauses, then recurse through direct leaves, branch
+// nodes and decompositions. The frame's arena carvings are reclaimed on
+// exit, like stAdpll.
+func (s *solver) stAllMarginals(clauses []int32) (float64, marginalSet) {
+	rbase := len(s.stIdx)
+	for _, c := range clauses {
+		if !s.stClauseSat(c) {
+			s.stIdx = append(s.stIdx, c)
+		}
+	}
+	residual := s.stIdx[rbase:len(s.stIdx)]
+	if len(residual) == 0 {
+		s.stIdx = s.stIdx[:rbase]
+		return 1, nil
+	}
+	p, m := s.stAllMarginalsInner(residual)
+	s.stIdx = s.stIdx[:rbase]
+	return p, m
+}
+
+func (s *solver) stAllMarginalsInner(residual []int32) (float64, marginalSet) {
+	if p, ok := s.stDirectProb(residual); ok {
+		return p, s.stLeafMarginals(residual)
+	}
+	if s.opt.NoComponents {
+		return s.stBranchMarginals(residual, s.stPickVar(residual))
+	}
+	// A one-clause residual is trivially a single component; skip the
+	// union-find (same branch decision, same arithmetic).
+	if len(residual) == 1 {
+		return s.stBranchMarginals(residual, s.stPickVar(residual))
+	}
+	comps, single := s.stComponents(residual)
+	if single {
+		return s.stBranchMarginals(residual, s.stPickVar(residual))
+	}
+	// Mirror allMarginals' decomposition loop, including the early return
+	// once the product hits zero.
+	p := 1.0
+	vals := make([]float64, len(comps))
+	sets := make([]marginalSet, len(comps))
+	for i, comp := range comps {
+		if direct, ok := s.stDirectProb(comp); ok {
+			vals[i], sets[i] = direct, s.stLeafMarginals(comp)
+			p *= direct
+			continue
+		}
+		vals[i], sets[i] = s.stBranchMarginals(comp, s.stPickVar(comp))
+		p *= vals[i]
+		if p == 0 {
+			return 0, nil
+		}
+	}
+	suf := 1.0
+	sufs := make([]float64, len(comps))
+	for i := len(comps) - 1; i >= 0; i-- {
+		sufs[i] = suf
+		suf *= vals[i]
+	}
+	//lint:ignore hotalloc marginal result set handed to the caller, who owns and keeps it
+	out := marginalSet{}
+	pre := 1.0
+	for i, set := range sets {
+		outer := pre * sufs[i]
+		for x, vec := range set {
+			for b := range vec {
+				vec[b] *= outer
+			}
+			out[x] = vec
+		}
+		pre *= vals[i]
+	}
+	return p, out
+}
+
+// stBranchMarginals mirrors branchMarginals: enumerate the branch
+// variable's values through the trail, mixing child vectors weighted by
+// the branch distribution, with independent-product defaults for needed
+// variables a child eliminated.
+func (s *solver) stBranchMarginals(clauses []int32, v int32) (float64, marginalSet) {
+	// Collect the needed free variables up front, over the same effective
+	// variables the legacy pass sees in its rewritten clauses.
+	s.epoch++
+	var need []int32
+	note := func(x int32) {
+		if x != v && s.margNeed[x] && s.seenEp[x] != s.epoch {
+			s.seenEp[x] = s.epoch
+			need = append(need, x)
+		}
+	}
+	for _, c := range clauses {
+		if s.stClauseSat(c) {
+			continue
+		}
+		for ei := s.stClauseOff[c]; ei < s.stClauseOff[c+1]; ei++ {
+			if s.stLitDead(ei) {
+				continue
+			}
+			s.stVisitEff(s.stExprs[ei], note)
+		}
+	}
+
+	dv := s.dists[v]
+	var mv []float64
+	if s.margNeed[v] {
+		mv = make([]float64, len(dv))
+	}
+	//lint:ignore hotalloc marginal result set handed to the caller, who owns and keeps it
+	out := marginalSet{}
+	total := 0.0
+	for a, pa := range dv {
+		if pa == 0 {
+			continue
+		}
+		mark := len(s.stTrail)
+		var cv float64
+		var cm marginalSet
+		// An emptied clause means the child subformula is false: the
+		// legacy pass reports it as simplify's decided-false (0, nil).
+		if dead := s.stAssign(v, int32(a)); !dead {
+			cv, cm = s.stAllMarginals(clauses)
+		}
+		s.stRewind(mark)
+		s.assign[v] = -1
+		total += pa * cv
+		if mv != nil {
+			mv[a] = pa * cv
+		}
+		for _, x := range need {
+			vec := out[x]
+			if vec == nil {
+				vec = make([]float64, len(s.dists[x]))
+				out[x] = vec
+			}
+			if cvec, ok := cm[x]; ok {
+				for b, w := range cvec {
+					vec[b] += pa * w
+				}
+			} else if cv != 0 {
+				for b, pb := range s.dists[x] {
+					vec[b] += pa * cv * pb
+				}
+			}
+		}
+	}
+	if mv != nil {
+		out[v] = mv
+	}
+	return total, out
+}
+
+// stLeafMarginals mirrors leafMarginals over the live literals of a
+// direct-rule residual, reading each literal in its effective form.
+func (s *solver) stLeafMarginals(residual []int32) marginalSet {
+	n := len(residual)
+	ps := make([]float64, n)
+	anyNeed := false
+	for i, c := range residual {
+		q := 1.0
+		for ei := s.stClauseOff[c]; ei < s.stClauseOff[c+1]; ei++ {
+			if s.stLitDead(ei) {
+				continue
+			}
+			e := s.stExprs[ei]
+			q *= 1 - s.stLitProb(ei, e)
+			eff := s.stEffLit(e)
+			anyNeed = anyNeed || s.margNeed[eff.x] || (eff.y >= 0 && s.margNeed[eff.y])
+		}
+		ps[i] = 1 - q
+	}
+	if !anyNeed {
+		return nil
+	}
+	sufs := make([]float64, n+1)
+	sufs[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		sufs[i] = sufs[i+1] * ps[i]
+	}
+
+	//lint:ignore hotalloc marginal result set handed to the caller, who owns and keeps it
+	out := marginalSet{}
+	pre := 1.0
+	var qc []float64 // per-literal complement probabilities, reused
+	for i, c := range residual {
+		outer := pre * sufs[i+1]
+		pre *= ps[i]
+
+		qc = qc[:0]
+		for ei := s.stClauseOff[c]; ei < s.stClauseOff[c+1]; ei++ {
+			if s.stLitDead(ei) {
+				continue
+			}
+			qc = append(qc, 1-s.stLitProb(ei, s.stExprs[ei]))
+		}
+		// qx(k): exclusion product over the clause's other live literals.
+		qx := func(k int) float64 {
+			q := 1.0
+			for j, v := range qc {
+				if j != k {
+					q *= v
+				}
+			}
+			return q
+		}
+		k := 0
+		for ei := s.stClauseOff[c]; ei < s.stClauseOff[c+1]; ei++ {
+			if s.stLitDead(ei) {
+				continue
+			}
+			e := s.stEffLit(s.stExprs[ei])
+			if s.margNeed[e.x] {
+				dx := s.dists[e.x]
+				vec := make([]float64, len(dx))
+				q := qx(k)
+				switch {
+				case e.y < 0:
+					for b, pb := range dx {
+						if constLitSat(e, b) {
+							vec[b] = outer * pb
+						} else {
+							vec[b] = outer * pb * (1 - q)
+						}
+					}
+				default:
+					// x > y, conditioned on x=b: the literal holds with
+					// probability Pr(y < b), the running CDF of y.
+					dy := s.dists[e.y]
+					cdf := 0.0
+					for b, pb := range dx {
+						if b-1 >= 0 && b-1 < len(dy) {
+							cdf += dy[b-1]
+						}
+						vec[b] = outer * pb * (1 - (1-cdf)*q)
+					}
+				}
+				out[e.x] = vec
+			}
+			if e.y >= 0 && s.margNeed[e.y] {
+				// x > y, conditioned on y=c: the literal holds with
+				// probability Pr(x > c), the tail mass of x above c.
+				dx := s.dists[e.x]
+				dy := s.dists[e.y]
+				vec := make([]float64, len(dy))
+				q := qx(k)
+				tail := 1.0
+				for cc, pc := range dy {
+					if cc < len(dx) {
+						tail -= dx[cc]
+					}
+					vec[cc] = outer * pc * (1 - (1-tail)*q)
+				}
+				out[e.y] = vec
+			}
+			k++
+		}
+	}
+	return out
+}
