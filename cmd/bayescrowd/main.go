@@ -14,6 +14,15 @@
 //	bayescrowd -data holes.csv -truth full.csv -net net.json   # reuse a learned network
 //	bayescrowd -data holes.csv -interactive -budget 10 -latency 2
 //	bayescrowd -data holes.csv -truth full.csv -trace run.jsonl -obs :6060
+//	bayescrowd -data holes.csv -stream -window 200 -topk 5
+//
+// -stream replays the CSV rows as an arrival stream through the
+// incremental sliding-window engine instead of running the crowdsourcing
+// loop: each tick feeds -arrivals rows into a window bounded by -window
+// (count) and/or -span (ticks of age), maintains the c-table and the
+// probability cache by delta, and keeps the window's skyline
+// probabilities current. No crowd backend is involved (missing cells keep
+// uniform priors), so -truth/-interactive are not required.
 //
 // -trace writes a deterministic JSONL event log of the run (byte-identical
 // across -workers settings for a fixed -seed); -obs serves live /metrics
@@ -35,6 +44,7 @@ import (
 	"strings"
 
 	"bayescrowd"
+	"bayescrowd/internal/stream"
 )
 
 func main() {
@@ -62,6 +72,11 @@ func main() {
 		chargePost  = flag.Bool("chargeonpost", false, "charge the budget on posting instead of on answer arrival")
 		tracePath   = flag.String("trace", "", "write a JSONL trace of the run's events to this file (deterministic under -seed)")
 		obsAddr     = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (e.g. :6060)")
+		streamMode  = flag.Bool("stream", false, "replay the CSV as an arrival stream through the sliding-window engine (no crowd backend)")
+		window      = flag.Int("window", 100, "stream mode: maximum live objects in the window (0 = unbounded)")
+		span        = flag.Int64("span", 0, "stream mode: maximum object age in ticks (0 = no age bound)")
+		arrivals    = flag.Int("arrivals", 1, "stream mode: rows arriving per tick")
+		topk        = flag.Int("topk", 5, "stream mode: report the k highest-probability objects (0 disables)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		verbose     = flag.Bool("v", false, "print per-round progress")
 	)
@@ -70,7 +85,7 @@ func main() {
 	if *dataPath == "" {
 		fail("missing -data")
 	}
-	if (*truthPath == "") == !*interactive {
+	if !*streamMode && (*truthPath == "") == !*interactive {
 		fail("pass exactly one of -truth or -interactive")
 	}
 
@@ -104,6 +119,35 @@ func main() {
 			fail("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "bayescrowd: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
+
+	if *streamMode {
+		if *arrivals < 1 {
+			fail("-arrivals must be at least 1")
+		}
+		err := runStream(data, streamFlags{
+			window: *window, span: *span, arrivals: *arrivals, topk: *topk,
+			workers: *workers, noCache: *nocache, cacheSize: *cacheSize,
+			verbose: *verbose,
+		}, rec, registry)
+		if err != nil {
+			fail("%v", err)
+		}
+		if traceSink != nil {
+			if err := traceSink.Flush(); err != nil {
+				fail("trace: %v", err)
+			}
+			if err := traceFile.Close(); err != nil {
+				fail("trace: %v", err)
+			}
+		}
+		if registry != nil {
+			fmt.Fprintln(os.Stderr, "\nmetrics:")
+			if err := registry.WriteJSON(os.Stderr); err != nil {
+				fail("metrics: %v", err)
+			}
+		}
+		return
 	}
 
 	var platform bayescrowd.Platform
@@ -243,6 +287,75 @@ func main() {
 			fail("metrics: %v", err)
 		}
 	}
+}
+
+// streamFlags bundles the -stream mode's knobs.
+type streamFlags struct {
+	window    int
+	span      int64
+	arrivals  int
+	topk      int
+	workers   int
+	noCache   bool
+	cacheSize int
+	verbose   bool
+}
+
+// runStream replays the dataset's rows, in file order, as an arrival
+// stream through the incremental sliding-window engine and prints the
+// final window's skyline. Stream ids coincide with row indices (every row
+// is inserted exactly once, in order), which is how answers map back to
+// the CSV's object ids.
+func runStream(data *bayescrowd.Dataset, f streamFlags, rec *bayescrowd.TraceRecorder, registry *bayescrowd.MetricsRegistry) error {
+	eng, err := stream.New(stream.Config{
+		Attrs:     data.Attrs,
+		Window:    stream.Window{Count: f.window, Span: f.span},
+		TopK:      f.topk,
+		Workers:   f.workers,
+		NoCache:   f.noCache,
+		CacheSize: f.cacheSize,
+		Obs:       rec,
+		Metrics:   registry,
+	})
+	if err != nil {
+		return err
+	}
+
+	var last stream.TickResult
+	now := int64(0)
+	for i := 0; i < len(data.Objects); i += f.arrivals {
+		end := i + f.arrivals
+		if end > len(data.Objects) {
+			end = len(data.Objects)
+		}
+		batch := make([][]bayescrowd.Cell, 0, end-i)
+		for _, o := range data.Objects[i:end] {
+			batch = append(batch, o.Cells)
+		}
+		last = eng.Tick(now, batch)
+		if f.verbose {
+			fmt.Fprintf(os.Stderr, "tick %d: +%d -%d, %d conditions re-solved, %d skyline answers\n",
+				now, len(last.Inserted), len(last.Evicted), last.Recomputed, len(last.Answers))
+		}
+		now++
+	}
+
+	fmt.Printf("streamed %d objects in %d ticks; final window holds %d\n",
+		len(data.Objects), now, eng.Len())
+	fmt.Println("\nskyline of the final window (Pr > 0.5):")
+	for _, id := range last.Answers {
+		fmt.Printf("  %s\n", data.Objects[id].ID)
+	}
+	if len(last.Answers) == 0 {
+		fmt.Println("  (none)")
+	}
+	if f.topk > 0 {
+		fmt.Printf("\ntop-%d by skyline probability:\n", f.topk)
+		for _, r := range last.TopK {
+			fmt.Printf("  %s (Pr=%.2f)\n", data.Objects[r.ID].ID, r.P)
+		}
+	}
+	return nil
 }
 
 func readCSV(path string) (*bayescrowd.Dataset, error) {

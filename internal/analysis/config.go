@@ -73,14 +73,18 @@ func RepoConfig(modulePath string) *Config {
 			p("internal/ctable"),
 			p("internal/crowd"),
 			p("internal/parallel"),
+			p("internal/stream"),
 		},
 		SingleWriterOwners: []string{
 			p("internal/core"),
 			p("internal/prob"),
+			p("internal/ctable"),
+			p("internal/stream"),
 		},
 		GuardedTypes: []string{
 			p("internal/prob") + ".Evaluator",
 			p("internal/prob") + ".ComponentCache",
+			p("internal/ctable") + ".DynCTable",
 		},
 		MutatingMethods: []string{
 			p("internal/prob") + ".ComponentCache.Invalidate",
@@ -98,6 +102,9 @@ func RepoConfig(modulePath string) *Config {
 			p("internal/prob") + ".Evaluator.CondProbsWith",
 			p("internal/prob") + ".CondScan.CondProbs",
 			p("internal/prob") + ".CondScan.PlanSweeps",
+			p("internal/ctable") + ".DynCTable.Insert",
+			p("internal/ctable") + ".DynCTable.Evict",
+			p("internal/ctable") + ".DynCTable.Cond",
 		},
 		DocPkgs: []string{modulePath},
 	}

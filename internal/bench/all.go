@@ -27,6 +27,7 @@ var Descriptions = map[string]string{
 	"faults":        "fault tolerance: monetary cost and round inflation vs answer-drop rate, three strategies",
 	"obs":           "observability overhead: crowdsourcing phase timed with tracing/metrics disabled, no-op, aggregated, and fully traced",
 	"scale":         "raw-speed push: sort-based c-table build scaling to 1M objects, and the compiled Pr(phi) engine vs the seed replica on the NBA selection phase",
+	"stream":        "sliding-window sustained throughput: incremental delta c-table maintenance vs rebuild-per-tick",
 }
 
 // Experiments maps experiment ids (as accepted by cmd/benchfig) to their
@@ -54,6 +55,7 @@ var Experiments = map[string]func(Scale) ([]*Table, error){
 	"faults":        FaultsExperiment,
 	"obs":           ObsOverhead,
 	"scale":         ScaleExperiment,
+	"stream":        StreamExperiment,
 }
 
 // presentationOrder lists the experiment ids in the order they appear in
@@ -63,7 +65,7 @@ var Experiments = map[string]func(Scale) ([]*Table, error){
 var presentationOrder = []string{
 	"fig2", "fig3", "fig3-ablation", "fig4", "fig5", "fig6", "fig7",
 	"fig8", "fig9", "fig10", "fig11", "table6", "ablation", "motivation",
-	"workers", "cache", "faults", "obs", "scale",
+	"workers", "cache", "faults", "obs", "scale", "stream",
 }
 
 // Names returns the experiment ids in stable presentation order.

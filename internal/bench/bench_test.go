@@ -29,6 +29,8 @@ func microScale() Scale {
 	s.ScaleNs = []int{300, 600}
 	s.ScalePerObjectCap = 400
 	s.ScaleSelN = 300
+	s.StreamWindow = 40
+	s.StreamTicks = 30
 	return s
 }
 
@@ -67,7 +69,7 @@ func TestNamesCoverAllExperiments(t *testing.T) {
 	if len(names) != len(Experiments) {
 		t.Fatalf("Names() returned %d ids, registry has %d", len(names), len(Experiments))
 	}
-	if names[0] != "fig2" || names[len(names)-1] != "scale" {
+	if names[0] != "fig2" || names[len(names)-1] != "stream" {
 		t.Fatalf("unexpected presentation order: %v", names)
 	}
 }

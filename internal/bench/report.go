@@ -34,6 +34,10 @@ var defaultFloors = map[string]float64{
 	"scale.round_speedup_vs_seed":  2.0,
 	"scale.sel_speedup_vs_seed":    1.25,
 	"scale.kernel_speedup_vs_seed": 1.8,
+	// The streaming engine must sustain at least 3× the rebuild-per-tick
+	// baseline's objects/sec at the default window (the incremental
+	// maintenance PR's acceptance bar).
+	"stream.throughput_speedup_vs_rebuild": 3.0,
 }
 
 // NewReport assembles a report from executed experiments' tables.

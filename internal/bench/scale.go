@@ -84,6 +84,17 @@ type Scale struct {
 	ScalePerObjectCap int
 	ScaleSelN         int
 
+	// "stream" experiment: the sliding-window sustained-throughput gate.
+	// A count-bound window of StreamWindow objects is filled untimed,
+	// then consumes StreamArrivals arrivals per tick for StreamTicks
+	// sustained ticks at steady state (every tick inserts and evicts);
+	// the incremental engine and the rebuild-per-tick baseline process
+	// the identical stream, and the ratio of their sustained objects/sec
+	// is the gated metric.
+	StreamWindow   int
+	StreamArrivals int
+	StreamTicks    int
+
 	Seed int64
 }
 
@@ -117,6 +128,9 @@ func Paper() Scale {
 		ScaleNs:           []int{10000, 100000, 1000000},
 		ScalePerObjectCap: 20000,
 		ScaleSelN:         10000,
+		StreamWindow:      1000,
+		StreamArrivals:    1,
+		StreamTicks:       300,
 		Seed:              1,
 	}
 }
@@ -150,6 +164,9 @@ func Quick() Scale {
 		ScaleNs:           []int{2000, 10000, 50000},
 		ScalePerObjectCap: 5000,
 		ScaleSelN:         10000,
+		StreamWindow:      300,
+		StreamArrivals:    1,
+		StreamTicks:       300,
 		Seed:              1,
 	}
 }

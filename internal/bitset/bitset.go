@@ -119,6 +119,24 @@ func (s *Set) sameCap(other *Set) {
 	}
 }
 
+// Grow extends the capacity to n bits, preserving the current contents.
+// Bits past the old capacity start at 0. Growing to a smaller or equal n
+// is a no-op — Grow never truncates. The streaming dominator index uses
+// it to widen every per-dimension set in lock step when the window
+// outgrows its slot capacity.
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	need := (n + wordBits - 1) / wordBits
+	if need > len(s.words) {
+		words := make([]uint64, need)
+		copy(words, s.words)
+		s.words = words
+	}
+	s.n = n
+}
+
 // Clone returns a deep copy of s.
 func (s *Set) Clone() *Set {
 	c := &Set{words: make([]uint64, len(s.words)), n: s.n}

@@ -83,6 +83,7 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 		cCacheMisses = reg.Counter("cache.misses")
 		cCacheEvict  = reg.Counter("cache.evicted")
 		cCacheInval  = reg.Counter("cache.invalidated")
+		cCacheInvalE = reg.Counter("cache.invalidated.entries")
 		cApprox      = reg.Counter("prob.approx.components")
 	)
 	var prevCache prob.CacheStats
@@ -442,6 +443,7 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 			cCacheMisses.Add(int64(s.Misses - prevCache.Misses))
 			cCacheEvict.Add(int64(s.Evicted - prevCache.Evicted))
 			cCacheInval.Add(int64(s.Invalidated - prevCache.Invalidated))
+			cCacheInvalE.Add(int64(s.InvalidatedEntries - prevCache.InvalidatedEntries))
 			prevCache = s
 		}
 		if reg != nil {
@@ -511,6 +513,7 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 			cCacheMisses.Add(int64(result.Cache.Misses - prevCache.Misses))
 			cCacheEvict.Add(int64(result.Cache.Evicted - prevCache.Evicted))
 			cCacheInval.Add(int64(result.Cache.Invalidated - prevCache.Invalidated))
+			cCacheInvalE.Add(int64(result.Cache.InvalidatedEntries - prevCache.InvalidatedEntries))
 		}
 	}
 	result.ApproxComponents = ev.ApproxComponents()

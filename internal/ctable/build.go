@@ -141,15 +141,27 @@ func buildCondition(d *dataset.Dataset, o int, dom *bitset.Set) *Condition {
 // buildClause returns the disjuncts of [p ⊀ o]: for every attribute, the
 // expression asserting that o strictly beats p there, when that is still
 // possible. nil means the clause is empty (p certainly dominates o).
+func buildClause(d *dataset.Dataset, o, p int) []Expr {
+	return ClauseBetween(d.Attrs, o, d.Objects[o].Cells, p, d.Objects[p].Cells)
+}
+
+// ClauseBetween builds the clause [p ⊀ o] from raw cells: for every
+// attribute, the expression asserting that object o (with cells oCells,
+// variables numbered Var{o, j}) strictly beats its possible dominator p
+// (pCells, Var{p, j}) there, when that is still possible. nil means the
+// clause is empty — p certainly dominates o. It is the cell-level core of
+// the batch build, exported for the incremental c-table (DynCTable),
+// whose objects are numbered by stream identity rather than by dataset
+// index.
 //
 // Statically unsatisfiable expressions — "x < 0" and "x > Levels-1" — are
 // dropped at construction, so every emitted expression is a meaningful
 // crowd task.
-func buildClause(d *dataset.Dataset, o, p int) []Expr {
+func ClauseBetween(attrs []dataset.Attribute, o int, oCells []dataset.Cell, p int, pCells []dataset.Cell) []Expr {
 	var clause []Expr
-	for j := range d.Attrs {
-		oc := d.Objects[o].Cells[j]
-		pc := d.Objects[p].Cells[j]
+	for j := range attrs {
+		oc := oCells[j]
+		pc := pCells[j]
 		switch {
 		case !oc.Missing && !pc.Missing:
 			if oc.Value > pc.Value {
@@ -167,7 +179,7 @@ func buildClause(d *dataset.Dataset, o, p int) []Expr {
 			}
 		case oc.Missing && !pc.Missing:
 			// o beats p iff Var(o,j) > p.[j]; impossible when p.[j] is max.
-			if pc.Value < d.Attrs[j].Levels-1 {
+			if pc.Value < attrs[j].Levels-1 {
 				clause = append(clause, GTConst(Var{Obj: o, Attr: j}, pc.Value))
 			}
 		default:

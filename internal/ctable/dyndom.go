@@ -1,0 +1,139 @@
+package ctable
+
+import (
+	"bayescrowd/internal/bitset"
+	"bayescrowd/internal/dataset"
+)
+
+// DynDomIndex is the updatable form of the per-dimension candidate index
+// behind Get-CTable (DomIndex / the sort-partition build): for every
+// attribute j and level v it maintains, over the *live* slots of a
+// sliding window, both directions of the possible-dominance predicate —
+//
+//	geqm[j][v] = { live q : q.[j] missing or q.[j] >= v }
+//	leqm[j][v] = { live q : q.[j] missing or q.[j] <= v }
+//
+// so that one d-way AND answers either "who possibly dominates o"
+// (Dominators, the batch index's query) or the reverse "whom does o
+// possibly dominate" (Dominatees, the query eviction patching needs).
+// Insert and Evict cost O(d · levels) bit operations; both queries cost
+// O(d · cap/64) words, independent of how many objects have ever passed
+// through the window.
+//
+// Slots are positions in a fixed-capacity bit universe; the DynCTable
+// that owns the index recycles the slot of an evicted object for a later
+// arrival, and Grow widens every set in lock step when the window
+// outgrows the capacity.
+type DynDomIndex struct {
+	attrs []dataset.Attribute
+	cap   int
+	live  *bitset.Set
+	geqm  [][]*bitset.Set
+	leqm  [][]*bitset.Set
+}
+
+// NewDynDomIndex returns an empty index over the attribute schema with
+// capacity for the given number of slots (grown on demand; a capacity
+// hint of 0 starts at a small default).
+func NewDynDomIndex(attrs []dataset.Attribute, capacity int) *DynDomIndex {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	ix := &DynDomIndex{
+		attrs: attrs,
+		cap:   capacity,
+		live:  bitset.New(capacity),
+		geqm:  make([][]*bitset.Set, len(attrs)),
+		leqm:  make([][]*bitset.Set, len(attrs)),
+	}
+	for j, a := range attrs {
+		ix.geqm[j] = make([]*bitset.Set, a.Levels)
+		ix.leqm[j] = make([]*bitset.Set, a.Levels)
+		for v := 0; v < a.Levels; v++ {
+			ix.geqm[j][v] = bitset.New(capacity)
+			ix.leqm[j][v] = bitset.New(capacity)
+		}
+	}
+	return ix
+}
+
+// Cap returns the current slot capacity.
+func (ix *DynDomIndex) Cap() int { return ix.cap }
+
+// Grow widens every per-dimension set to hold at least n slots.
+func (ix *DynDomIndex) Grow(n int) {
+	if n <= ix.cap {
+		return
+	}
+	ix.cap = n
+	ix.live.Grow(n)
+	for j := range ix.attrs {
+		for v := range ix.geqm[j] {
+			ix.geqm[j][v].Grow(n)
+			ix.leqm[j][v].Grow(n)
+		}
+	}
+}
+
+// Insert adds the object occupying slot with the given cells to every
+// per-dimension set: a missing cell joins all levels of its attribute
+// (it could take any value), an observed value v joins geqm[j][0..v] and
+// leqm[j][v..L-1].
+func (ix *DynDomIndex) Insert(slot int, cells []dataset.Cell) {
+	ix.live.Set(slot)
+	for j := range ix.attrs {
+		c := cells[j]
+		for v := 0; v < ix.attrs[j].Levels; v++ {
+			if c.Missing || c.Value >= v {
+				ix.geqm[j][v].Set(slot)
+			}
+			if c.Missing || c.Value <= v {
+				ix.leqm[j][v].Set(slot)
+			}
+		}
+	}
+}
+
+// Evict removes the slot from every per-dimension set.
+func (ix *DynDomIndex) Evict(slot int, cells []dataset.Cell) {
+	ix.live.Clear(slot)
+	for j := range ix.attrs {
+		c := cells[j]
+		for v := 0; v < ix.attrs[j].Levels; v++ {
+			if c.Missing || c.Value >= v {
+				ix.geqm[j][v].Clear(slot)
+			}
+			if c.Missing || c.Value <= v {
+				ix.leqm[j][v].Clear(slot)
+			}
+		}
+	}
+}
+
+// Dominators writes into out the live slots that possibly dominate an
+// object with the given cells (Definition 5): candidates must be
+// observed-and-≥ or missing on every attribute the object observes. The
+// querying object's own slot, if live, is excluded by the caller; out
+// must have the index's capacity.
+func (ix *DynDomIndex) Dominators(cells []dataset.Cell, out *bitset.Set) {
+	out.CopyFrom(ix.live)
+	for j := range ix.attrs {
+		if c := cells[j]; !c.Missing {
+			out.And(ix.geqm[j][c.Value])
+		}
+	}
+}
+
+// Dominatees writes into out the live slots that an object with the
+// given cells possibly dominates — the reverse query: candidates must be
+// observed-and-≤ or missing wherever the object observes a value. It is
+// the set of objects whose conditions carry (or must gain) a clause for
+// this object.
+func (ix *DynDomIndex) Dominatees(cells []dataset.Cell, out *bitset.Set) {
+	out.CopyFrom(ix.live)
+	for j := range ix.attrs {
+		if c := cells[j]; !c.Missing {
+			out.And(ix.leqm[j][c.Value])
+		}
+	}
+}

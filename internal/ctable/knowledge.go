@@ -172,6 +172,40 @@ func varLess(a, b Var) bool {
 	return a.Attr < b.Attr
 }
 
+// Forget erases everything recorded about the given variables: their
+// intervals, every stored relation mentioning one of them, and (under
+// NoInference) every answered expression touching them. Knowledge about
+// every other variable is untouched, as is the Conflicts counter —
+// conflicts already charged against departed objects remain historical
+// fact. The streaming engine calls it when an object is evicted, so a
+// long-running window does not accumulate intervals for variables that
+// can never be asked about again.
+//
+// Cost is O(len(vars)) for the intervals plus one scan of the stored
+// relations and answered expressions; crowd knowledge is small (bounded
+// by answers absorbed), so eviction-time scans stay cheap.
+func (k *Knowledge) Forget(vars ...Var) {
+	if len(vars) == 0 {
+		return
+	}
+	gone := make(map[Var]bool, len(vars))
+	for _, v := range vars {
+		gone[v] = true
+		delete(k.lo, v)
+		delete(k.hi, v)
+	}
+	for key := range k.rel {
+		if gone[key[0]] || gone[key[1]] {
+			delete(k.rel, key)
+		}
+	}
+	for e := range k.exprTruth {
+		if gone[e.X] || (e.Kind == VarGTVar && gone[e.Y]) {
+			delete(k.exprTruth, e)
+		}
+	}
+}
+
 // relation returns the stored relation x REL y, if any.
 func (k *Knowledge) relation(x, y Var) (Rel, bool) {
 	key, _ := pairKey(x, y, EQ)

@@ -98,6 +98,17 @@ const (
 	// KindRoundEnd closes a round: N = budget units charged, M =
 	// conditions still undecided.
 	KindRoundEnd Kind = "round.end"
+	// KindStreamInsert reports one arrival absorbed into the streaming
+	// window: N = its stream id, M = |D(o)| on arrival (0 in the
+	// rebuild-per-tick baseline, which derives dominators only at tick
+	// end).
+	KindStreamInsert Kind = "stream.insert"
+	// KindStreamEvict reports one object leaving the streaming window:
+	// N = its stream id, M = c-table variables retired with it.
+	KindStreamEvict Kind = "stream.evict"
+	// KindStreamTick closes one streaming tick: N = arrivals absorbed,
+	// M = conditions re-evaluated.
+	KindStreamTick Kind = "stream.tick"
 	// KindDegrade reports the run ending early on a best-effort result:
 	// Note = the degradation reason.
 	KindDegrade Kind = "degrade"

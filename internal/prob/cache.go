@@ -27,9 +27,14 @@ type CacheStats struct {
 	// Evicted counts entries dropped by the size cap.
 	Evicted uint64
 	// Invalidated counts variables whose epoch was bumped by Invalidate —
-	// one per renormalised distribution, not one per dead entry (stale
-	// entries are discarded lazily on lookup or by eviction).
+	// one per renormalised distribution, not one per dead entry.
 	Invalidated uint64
+	// InvalidatedEntries counts the memoized entries Invalidate evicted
+	// eagerly because they mentioned a bumped variable. The count is
+	// scheduling-dependent (which components were cached depends on the
+	// preceding fan-out's schedule), so it surfaces as a metrics counter,
+	// never on the trace.
+	InvalidatedEntries uint64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -88,9 +93,10 @@ type ComponentCache struct {
 
 	// epoch and varEpoch are written only by Invalidate (single-writer,
 	// between fan-outs) and read lock-free during fan-outs.
-	epoch       uint64
-	varEpoch    map[ctable.Var]uint64
-	invalidated uint64
+	epoch              uint64
+	varEpoch           map[ctable.Var]uint64
+	invalidated        uint64
+	invalidatedEntries uint64
 
 	hits, misses, evicted atomic.Uint64
 
@@ -225,33 +231,63 @@ func (sh *cacheShard) compactFIFO() {
 }
 
 // Invalidate marks every memoized component mentioning one of the given
-// variables stale, by bumping those variables' epochs. The framework
+// variables stale and returns how many entries it evicted. The framework
 // calls it when a crowd answer renormalises a variable's distribution
 // (conditions whose clauses were merely rewritten need no bump — their
-// fingerprints change, so the old entries can never be hit again).
+// fingerprints change, so the old entries can never be hit again); the
+// streaming engine calls it with the variables of evicted objects, whose
+// fingerprints can never recur and would otherwise pin dead entries
+// until FIFO eviction reached them.
+//
+// Dead entries are dropped eagerly here — one scan of the shards per
+// call, so batch the variables of a round (or a window tick) into one
+// Invalidate — and the per-variable epoch bump remains as a backstop.
+// The returned count is scheduling-dependent (which components got
+// cached depends on the preceding fan-out's schedule): surface it as a
+// metrics counter, never on the trace.
 //
 // Single-writer: Invalidate must not run concurrently with lookups, i.e.
 // only between parallel fan-outs, matching when the Evaluator's Dists may
 // be mutated.
-func (c *ComponentCache) Invalidate(vars ...ctable.Var) {
+func (c *ComponentCache) Invalidate(vars ...ctable.Var) int {
 	if len(vars) == 0 {
-		return
+		return 0
 	}
 	c.epoch++
+	bumped := make(map[ctable.Var]bool, len(vars))
 	for _, v := range vars {
 		c.varEpoch[v] = c.epoch
+		bumped[v] = true
+	}
+	evicted := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.m {
+			for _, v := range e.vars {
+				if bumped[v] {
+					delete(sh.m, key)
+					evicted++
+					break
+				}
+			}
+		}
+		sh.mu.Unlock()
 	}
 	c.invalidated += uint64(len(vars))
+	c.invalidatedEntries += uint64(evicted)
 	c.Obs.Emit(obs.Event{Kind: obs.KindCacheInvalidate, N: len(vars)})
+	return evicted
 }
 
 // Stats snapshots the cache counters.
 func (c *ComponentCache) Stats() CacheStats {
 	return CacheStats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Evicted:     c.evicted.Load(),
-		Invalidated: c.invalidated,
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Evicted:            c.evicted.Load(),
+		Invalidated:        c.invalidated,
+		InvalidatedEntries: c.invalidatedEntries,
 	}
 }
 
