@@ -15,14 +15,26 @@
 //	bayescrowd -data holes.csv -interactive -budget 10 -latency 2
 //	bayescrowd -data holes.csv -truth full.csv -trace run.jsonl -obs :6060
 //	bayescrowd -data holes.csv -stream -window 200 -topk 5
+//	bayescrowd -data holes.csv -truth full.csv -stream -window 200 -crowdbudget 100 -latency 2 -taskdeadline 4
 //
 // -stream replays the CSV rows as an arrival stream through the
 // incremental sliding-window engine instead of running the crowdsourcing
 // loop: each tick feeds -arrivals rows into a window bounded by -window
 // (count) and/or -span (ticks of age), maintains the c-table and the
 // probability cache by delta, and keeps the window's skyline
-// probabilities current. No crowd backend is involved (missing cells keep
-// uniform priors), so -truth/-interactive are not required.
+// probabilities current. By default no crowd backend is involved
+// (missing cells keep uniform priors), so -truth/-interactive are not
+// required.
+//
+// -crowdbudget attaches the asynchronous crowd loop to the stream: each
+// tick posts up to -taskspertick tasks to a simulated crowd answering
+// from -truth (required; the interactive crowd cannot straggle ticks
+// behind and is not supported here), and answers arrive -latency ticks
+// later — possibly after their task's -taskdeadline has expired or
+// after the object they describe has left the window. Lost work is
+// detected, discarded and refunded; the run prints the staleness ledger
+// next to the final skyline. The fault-injection flags (-dropprob,
+// -outageprob, -spamprob) compose with the crowd loop.
 //
 // -trace writes a deterministic JSONL event log of the run (byte-identical
 // across -workers settings for a fixed -seed); -obs serves live /metrics
@@ -54,7 +66,7 @@ func main() {
 		interactive = flag.Bool("interactive", false, "answer tasks yourself on the terminal")
 		accuracy    = flag.Float64("accuracy", 1.0, "simulated worker accuracy in [0,1]")
 		budget      = flag.Int("budget", 50, "task budget B")
-		latency     = flag.Int("latency", 5, "latency constraint L (rounds)")
+		latency     = flag.Int("latency", 5, "latency constraint L (rounds); with -stream -crowdbudget: constant crowd answer delay in ticks")
 		strategy    = flag.String("strategy", "HHS", "task selection strategy: FBS, UBS or HHS")
 		m           = flag.Int("m", 15, "HHS early-stop parameter")
 		alpha       = flag.Float64("alpha", 0.01, "Get-CTable pruning threshold (0 disables)")
@@ -77,6 +89,9 @@ func main() {
 		span        = flag.Int64("span", 0, "stream mode: maximum object age in ticks (0 = no age bound)")
 		arrivals    = flag.Int("arrivals", 1, "stream mode: rows arriving per tick")
 		topk        = flag.Int("topk", 5, "stream mode: report the k highest-probability objects (0 disables)")
+		crowdBudget = flag.Int("crowdbudget", 0, "stream mode: total crowd task budget; 0 keeps the stream machine-only")
+		deadline    = flag.Int("taskdeadline", 2, "stream mode: ticks an unanswered crowd task stays in flight before expiring (refunded)")
+		perTick     = flag.Int("taskspertick", 1, "stream mode: maximum crowd tasks posted per tick")
 		seed        = flag.Int64("seed", 1, "random seed")
 		verbose     = flag.Bool("v", false, "print per-round progress")
 	)
@@ -87,6 +102,26 @@ func main() {
 	}
 	if !*streamMode && (*truthPath == "") == !*interactive {
 		fail("pass exactly one of -truth or -interactive")
+	}
+	if *streamMode && *crowdBudget > 0 {
+		if *truthPath == "" {
+			fail("-stream with -crowdbudget needs -truth (the simulated crowd answers from it)")
+		}
+		if *interactive {
+			fail("-interactive cannot back the asynchronous stream crowd loop")
+		}
+	}
+
+	var strat bayescrowd.Strategy
+	switch strings.ToUpper(*strategy) {
+	case "FBS":
+		strat = bayescrowd.FBS
+	case "UBS":
+		strat = bayescrowd.UBS
+	case "HHS":
+		strat = bayescrowd.HHS
+	default:
+		fail("unknown strategy %q", *strategy)
 	}
 
 	data, err := readCSV(*dataPath)
@@ -125,11 +160,28 @@ func main() {
 		if *arrivals < 1 {
 			fail("-arrivals must be at least 1")
 		}
+		var crowdPlatform *bayescrowd.UnreliableCrowd
+		if *crowdBudget > 0 {
+			if *latency < 0 {
+				fail("-latency must be non-negative in stream mode")
+			}
+			truth, err := readCSV(*truthPath)
+			if err != nil {
+				fail("%v", err)
+			}
+			sim := bayescrowd.NewSimulatedCrowd(truth, *accuracy, rand.New(rand.NewSource(*seed)))
+			crowdPlatform = bayescrowd.NewUnreliableCrowd(sim, *dropProb, *outageProb, *spamProb,
+				rand.New(rand.NewSource(*seed+2)))
+			crowdPlatform.MinDelay, crowdPlatform.MaxDelay = *latency, *latency
+			crowdPlatform.Obs = rec
+		}
 		err := runStream(data, streamFlags{
 			window: *window, span: *span, arrivals: *arrivals, topk: *topk,
 			workers: *workers, noCache: *nocache, cacheSize: *cacheSize,
 			verbose: *verbose,
-		}, rec, registry)
+			budget:  *crowdBudget, deadline: *deadline, perTick: *perTick,
+			strategy: strat, m: *m,
+		}, crowdPlatform, rand.New(rand.NewSource(*seed+1)), rec, registry)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -165,18 +217,6 @@ func main() {
 			rand.New(rand.NewSource(*seed+2)))
 		u.Obs = rec // injected faults show up in the trace
 		platform = u
-	}
-
-	var strat bayescrowd.Strategy
-	switch strings.ToUpper(*strategy) {
-	case "FBS":
-		strat = bayescrowd.FBS
-	case "UBS":
-		strat = bayescrowd.UBS
-	case "HHS":
-		strat = bayescrowd.HHS
-	default:
-		fail("unknown strategy %q", *strategy)
 	}
 
 	opts := bayescrowd.Options{
@@ -299,29 +339,50 @@ type streamFlags struct {
 	noCache   bool
 	cacheSize int
 	verbose   bool
+	// Crowd loop knobs; budget 0 keeps the stream machine-only.
+	budget   int
+	deadline int
+	perTick  int
+	strategy bayescrowd.Strategy
+	m        int
 }
 
 // runStream replays the dataset's rows, in file order, as an arrival
 // stream through the incremental sliding-window engine and prints the
 // final window's skyline. Stream ids coincide with row indices (every row
 // is inserted exactly once, in order), which is how answers map back to
-// the CSV's object ids.
-func runStream(data *bayescrowd.Dataset, f streamFlags, rec *bayescrowd.TraceRecorder, registry *bayescrowd.MetricsRegistry) error {
-	eng, err := stream.New(stream.Config{
-		Attrs:     data.Attrs,
-		Window:    stream.Window{Count: f.window, Span: f.span},
-		TopK:      f.topk,
-		Workers:   f.workers,
-		NoCache:   f.noCache,
-		CacheSize: f.cacheSize,
-		Obs:       rec,
-		Metrics:   registry,
-	})
+// the CSV's object ids. With a positive crowd budget the asynchronous
+// crowd loop runs interleaved with the ticks (a zero budget ticks
+// bit-identically to the machine-only engine), and the run ends with the
+// staleness ledger.
+func runStream(data *bayescrowd.Dataset, f streamFlags, platform *bayescrowd.UnreliableCrowd, rng *rand.Rand, rec *bayescrowd.TraceRecorder, registry *bayescrowd.MetricsRegistry) error {
+	cfg := stream.CrowdConfig{
+		Config: stream.Config{
+			Attrs:     data.Attrs,
+			Window:    stream.Window{Count: f.window, Span: f.span},
+			TopK:      f.topk,
+			Workers:   f.workers,
+			NoCache:   f.noCache,
+			CacheSize: f.cacheSize,
+			Obs:       rec,
+			Metrics:   registry,
+		},
+		Budget:       f.budget,
+		TasksPerTick: f.perTick,
+		TaskDeadline: f.deadline,
+		Strategy:     f.strategy,
+		M:            f.m,
+		Rng:          rng,
+	}
+	if platform != nil {
+		cfg.Platform = platform
+	}
+	eng, err := stream.NewCrowd(cfg)
 	if err != nil {
 		return err
 	}
 
-	var last stream.TickResult
+	var last stream.CrowdTickResult
 	now := int64(0)
 	for i := 0; i < len(data.Objects); i += f.arrivals {
 		end := i + f.arrivals
@@ -334,14 +395,30 @@ func runStream(data *bayescrowd.Dataset, f streamFlags, rec *bayescrowd.TraceRec
 		}
 		last = eng.Tick(now, batch)
 		if f.verbose {
-			fmt.Fprintf(os.Stderr, "tick %d: +%d -%d, %d conditions re-solved, %d skyline answers\n",
+			line := fmt.Sprintf("tick %d: +%d -%d, %d conditions re-solved, %d skyline answers",
 				now, len(last.Inserted), len(last.Evicted), last.Recomputed, len(last.Answers))
+			if f.budget > 0 {
+				line += fmt.Sprintf("; crowd: %d posted, %d arrived, %d in flight", last.Crowd.Posted, last.Crowd.Arrived, last.InFlight)
+				if last.Lagging {
+					line += " (lagging)"
+				}
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 		now++
 	}
 
 	fmt.Printf("streamed %d objects in %d ticks; final window holds %d\n",
 		len(data.Objects), now, eng.Len())
+	if f.budget > 0 {
+		tot := eng.Totals()
+		fmt.Printf("crowd: posted %d tasks, absorbed %d answers (%d conflicts), spent %d/%d units (%d still reserved)\n",
+			tot.Posted, tot.Absorbed, tot.Conflicts, eng.Spent(), f.budget, eng.Reserved())
+		if lost := tot.Expired + tot.Stale + tot.Late + tot.PostFailed; lost > 0 {
+			fmt.Printf("crowd lag: %d tasks expired, %d answers stale, %d late, %d post failures (%d units refunded)\n",
+				tot.Expired, tot.Stale, tot.Late, tot.PostFailed, tot.Refunded)
+		}
+	}
 	fmt.Println("\nskyline of the final window (Pr > 0.5):")
 	for _, id := range last.Answers {
 		fmt.Printf("  %s\n", data.Objects[id].ID)

@@ -91,6 +91,7 @@ func RepoConfig(modulePath string) *Config {
 		},
 		MustCheck: []string{
 			p("internal/crowd") + ".Platform.Post",
+			p("internal/crowd") + ".AsyncPlatform.PostAsync",
 			p("internal/ctable") + ".Knowledge.Absorb",
 		},
 		PoolPkg:              p("internal/parallel"),
@@ -105,6 +106,7 @@ func RepoConfig(modulePath string) *Config {
 			p("internal/ctable") + ".DynCTable.Insert",
 			p("internal/ctable") + ".DynCTable.Evict",
 			p("internal/ctable") + ".DynCTable.Cond",
+			p("internal/stream") + ".CrowdEngine.Tick",
 		},
 		DocPkgs: []string{modulePath},
 	}

@@ -28,6 +28,7 @@ var Descriptions = map[string]string{
 	"obs":           "observability overhead: crowdsourcing phase timed with tracing/metrics disabled, no-op, aggregated, and fully traced",
 	"scale":         "raw-speed push: sort-based c-table build scaling to 1M objects, and the compiled Pr(phi) engine vs the seed replica on the NBA selection phase",
 	"stream":        "sliding-window sustained throughput: incremental delta c-table maintenance vs rebuild-per-tick",
+	"streamcrowd":   "asynchronous crowd over the live window: answer utilisation and F1 vs crowd latency, fixed task deadline",
 }
 
 // Experiments maps experiment ids (as accepted by cmd/benchfig) to their
@@ -56,6 +57,7 @@ var Experiments = map[string]func(Scale) ([]*Table, error){
 	"obs":           ObsOverhead,
 	"scale":         ScaleExperiment,
 	"stream":        StreamExperiment,
+	"streamcrowd":   StreamCrowdExperiment,
 }
 
 // presentationOrder lists the experiment ids in the order they appear in
@@ -65,7 +67,7 @@ var Experiments = map[string]func(Scale) ([]*Table, error){
 var presentationOrder = []string{
 	"fig2", "fig3", "fig3-ablation", "fig4", "fig5", "fig6", "fig7",
 	"fig8", "fig9", "fig10", "fig11", "table6", "ablation", "motivation",
-	"workers", "cache", "faults", "obs", "scale", "stream",
+	"workers", "cache", "faults", "obs", "scale", "stream", "streamcrowd",
 }
 
 // Names returns the experiment ids in stable presentation order.

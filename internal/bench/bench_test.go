@@ -69,7 +69,7 @@ func TestNamesCoverAllExperiments(t *testing.T) {
 	if len(names) != len(Experiments) {
 		t.Fatalf("Names() returned %d ids, registry has %d", len(names), len(Experiments))
 	}
-	if names[0] != "fig2" || names[len(names)-1] != "stream" {
+	if names[0] != "fig2" || names[len(names)-1] != "streamcrowd" {
 		t.Fatalf("unexpected presentation order: %v", names)
 	}
 }

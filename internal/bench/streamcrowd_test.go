@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"bayescrowd/internal/core"
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/stream"
+)
+
+// TestStreamCrowdSoak is the nightly streaming-crowd soak: the
+// asynchronous crowd loop over a churning window under the full fault
+// gauntlet — 20% of answers dropped, 10% of rounds failing outright,
+// imperfect workers, and a seeded answer-delay range straddling the task
+// deadline — with fixed seeds, run under -race by the nightly job. It
+// asserts the robustness guarantees end to end: no error and no panic,
+// the budget-conservation ledger exact after every tick, and an F-score
+// floor against the complete-data oracle of the surviving window — a
+// lagging, lossy crowd may waste budget, it must never push the answer
+// set below the machine-only baseline's neighbourhood. (The
+// eviction-race stale path needs object lifetimes shorter than the
+// crowd delay; the stream package's adversarial test pins it.)
+func TestStreamCrowdSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream-crowd soak skipped in -short mode")
+	}
+	const (
+		dropProb   = 0.2
+		outageProb = 0.1
+		f1Floor    = 0.15 // absolute slack vs the machine-only baseline
+	)
+	s := Quick()
+	s.StreamWindow, s.StreamTicks, s.StreamArrivals = 120, 150, 1
+	truth, fill, ticks := streamSchedule(s)
+	budget := 2 * s.StreamTicks
+
+	run := func(budget int) (*stream.CrowdEngine, *crowd.Unreliable, stream.CrowdTickResult) {
+		cfg := stream.CrowdConfig{
+			Config: stream.Config{
+				Attrs:   truth.Attrs,
+				Window:  stream.Window{Count: s.StreamWindow},
+				Workers: s.Workers,
+			},
+			Budget:       budget,
+			TasksPerTick: 2,
+			TaskDeadline: streamCrowdDeadline,
+			Strategy:     core.FBS,
+		}
+		var platform *crowd.Unreliable
+		if budget > 0 {
+			sim := crowd.NewSimulated(truth, 0.9, rand.New(rand.NewSource(s.Seed+61)))
+			platform = crowd.NewUnreliable(sim, dropProb, outageProb, 0,
+				rand.New(rand.NewSource(s.Seed+62)))
+			// Delays up to 2 ticks past the deadline: some answers land in
+			// time, the rest expire and arrive late.
+			platform.MinDelay, platform.MaxDelay = 0, streamCrowdDeadline+2
+			cfg.Platform = platform
+			cfg.Rng = rand.New(rand.NewSource(s.Seed + 63))
+		}
+		ce, err := stream.NewCrowd(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last stream.CrowdTickResult
+		last = ce.Tick(0, fill)
+		for tick, batch := range ticks {
+			last = ce.Tick(int64(tick+1), batch)
+			tot := ce.Totals()
+			if last.BudgetSpent+last.BudgetReserved > budget {
+				t.Fatalf("tick %d: spent %d + reserved %d exceeds budget %d",
+					tick+1, last.BudgetSpent, last.BudgetReserved, budget)
+			}
+			if tot.Posted != tot.Charged+tot.Refunded+last.BudgetReserved {
+				t.Fatalf("tick %d: ledger leak: posted %d != charged %d + refunded %d + reserved %d",
+					tick+1, tot.Posted, tot.Charged, tot.Refunded, last.BudgetReserved)
+			}
+			if tot.Arrived != tot.Absorbed+tot.Conflicts+tot.Stale+tot.Late {
+				t.Fatalf("tick %d: answer leak: %+v", tick+1, tot)
+			}
+		}
+		return ce, platform, last
+	}
+
+	machine, _, mLast := run(0)
+	crowdEng, platform, cLast := run(budget)
+
+	tot := crowdEng.Totals()
+	// The schedule must exercise the lifecycle or the soak is vacuous:
+	// absorbed answers, injected drops, a round outage, and crowd work
+	// lost to the deadline.
+	if tot.Absorbed == 0 {
+		t.Fatalf("soak absorbed no answers: %+v", tot)
+	}
+	if platform.Dropped == 0 || platform.Outages == 0 {
+		t.Fatalf("fault schedule vacuous: dropped=%d outages=%d", platform.Dropped, platform.Outages)
+	}
+	if tot.Expired+tot.Stale+tot.Late == 0 {
+		t.Fatalf("no crowd work was lost — the lag model is inert: %+v", tot)
+	}
+
+	machineF1 := windowOracleF1(truth, machine.Snapshot(), mLast.Answers)
+	crowdF1 := windowOracleF1(truth, crowdEng.Snapshot(), cLast.Answers)
+	if crowdF1 < machineF1-f1Floor {
+		t.Errorf("F1 collapsed under crowd faults: %.3f vs machine-only %.3f (floor %.2f)",
+			crowdF1, machineF1, f1Floor)
+	}
+	t.Logf("machine: f1=%.3f; crowd: f1=%.3f posted=%d absorbed=%d conflicts=%d stale=%d late=%d expired=%d spent=%d dropped=%d outages=%d",
+		machineF1, crowdF1, tot.Posted, tot.Absorbed, tot.Conflicts,
+		tot.Stale, tot.Late, tot.Expired, crowdEng.Spent(), platform.Dropped, platform.Outages)
+}

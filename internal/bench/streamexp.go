@@ -27,7 +27,8 @@ import (
 // experiment fails rather than publishing the throughput of a wrong
 // result.
 func StreamExperiment(s Scale) ([]*Table, error) {
-	attrs, fill, ticks := streamSchedule(s)
+	truth, fill, ticks := streamSchedule(s)
+	attrs := truth.Attrs
 
 	if err := streamEquivalence(s, attrs, fill, ticks); err != nil {
 		return nil, err
@@ -93,11 +94,15 @@ func StreamExperiment(s Scale) ([]*Table, error) {
 // streamSchedule pre-draws the whole arrival schedule — the window fill
 // plus the sustained ticks — so every measured run (and the equivalence
 // pass) consumes the identical NBA-shaped stream at the scale's missing
-// rate.
-func streamSchedule(s Scale) (attrs []dataset.Attribute, fill [][]dataset.Cell, ticks [][][]dataset.Cell) {
+// rate. It also returns the complete dataset the cells were masked from:
+// stream ids are assigned 0,1,2,... in arrival order, so row i of truth
+// is the ground truth for stream id i — the hidden dataset a simulated
+// crowd platform answers from and the oracle the soak scores against.
+func streamSchedule(s Scale) (truth *dataset.Dataset, fill [][]dataset.Cell, ticks [][][]dataset.Cell) {
 	rng := rand.New(rand.NewSource(s.Seed + 3))
 	total := s.StreamWindow + s.StreamArrivals*s.StreamTicks
-	d := dataset.GenNBA(rng, total).InjectMissing(rng, s.MissingRate)
+	truth = dataset.GenNBA(rng, total)
+	d := truth.InjectMissing(rng, s.MissingRate)
 	fill = make([][]dataset.Cell, s.StreamWindow)
 	for i := range fill {
 		fill[i] = d.Objects[i].Cells
@@ -110,7 +115,7 @@ func streamSchedule(s Scale) (attrs []dataset.Attribute, fill [][]dataset.Cell, 
 		}
 		ticks[t] = batch
 	}
-	return d.Attrs, fill, ticks
+	return truth, fill, ticks
 }
 
 // streamEquivalence runs both modes over the schedule once, untimed, and

@@ -157,31 +157,16 @@ func crowdPhase(d *dataset.Dataset, ct *ctable.CTable, base prob.Dists, platform
 	touched := map[ctable.Var]bool{}
 	distChanged := map[ctable.Var]bool{}
 	seen := map[int]bool{}
-	var buf, changedVars []ctable.Var
+	var changedVars []ctable.Var
 	var stale []int
 	var staleConds []*ctable.Condition
 
-	// absorb folds one answer into the knowledge and marks the variables
-	// it touched; main-round answers and re-ask majorities go through the
-	// same path. Only constant-comparison answers narrow a variable's
-	// interval (and hence its distribution); var-vs-var answers record a
-	// pairwise relation and leave distributions untouched.
-	absorb := func(e ctable.Expr, rel ctable.Rel) error {
-		if err := know.Absorb(e, rel); err != nil {
-			return err
-		}
-		buf = e.Vars(buf[:0])
-		for _, v := range buf {
-			touched[v] = true
-		}
-		if e.Kind != ctable.VarGTVar && !opt.NoInference {
-			v := e.X
-			lo, hi := know.Bounds(v)
-			eff[v] = conditionDist(base[v], lo, hi)
-			distChanged[v] = true
-		}
-		return nil
-	}
+	// The absorption path is shared with the streaming crowd loop:
+	// main-round answers and re-ask majorities both fold into the
+	// knowledge through it, marking the touched variables and
+	// renormalising the narrowed distributions.
+	ab := &Absorption{Know: know, Base: base, Eff: eff, Touched: touched, DistChanged: distChanged}
+	absorb := ab.Absorb
 
 	// pendingDropped tracks fault-dropped tasks across rounds: an expression
 	// goes in when its answer is lost, comes out when a later answer for it

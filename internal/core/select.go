@@ -11,12 +11,28 @@ import (
 )
 
 // selectBatch implements one iteration of the two-step task selection
-// (§6.2): rank undecided objects by entropy, then pick one expression per
-// object according to the strategy, keeping the batch conflict-free (no
-// two tasks share a variable, §6.1). It returns at most k tasks; objects
-// beyond the top-k are consulted only when higher-entropy objects cannot
-// contribute a conflict-free task.
+// (§6.2) over a batch c-table; see SelectTasks for the mechanics.
 func selectBatch(opt Options, ct *ctable.CTable, ev *prob.Evaluator, probs map[int]float64, k int) []crowd.Task {
+	return SelectTasks(opt, ct.Undecided(), func(o int) *ctable.Condition { return ct.Conds[o] }, ev, probs, k, nil)
+}
+
+// SelectTasks implements one iteration of the two-step task selection
+// (§6.2): rank the candidate objects by the entropy of their current
+// Pr(φ), then pick one expression per object according to the strategy,
+// keeping the batch conflict-free (no two tasks share a variable,
+// §6.1). It returns at most k tasks; objects beyond the top-k are
+// consulted only when higher-entropy objects cannot contribute a
+// conflict-free task.
+//
+// objs lists the candidate objects (the undecided ones) in a
+// deterministic order and cond supplies each one's live condition; the
+// split from the batch CTable lets the streaming crowd loop select over
+// its window without materialising one. busy, when non-nil, pre-seeds
+// the conflict set — the streaming loop passes the variables of its
+// in-flight tasks so a question is never posted twice concurrently.
+// Only opt's selection knobs are consulted (Strategy, M, Workers, Rng,
+// TaskCost, NoCache, Trace); opt.Rng must be non-nil.
+func SelectTasks(opt Options, objs []int, cond func(int) *ctable.Condition, ev *prob.Evaluator, probs map[int]float64, k int, busy map[ctable.Var]bool) []crowd.Task {
 	type candidate struct {
 		obj int
 		h   float64
@@ -24,14 +40,13 @@ func selectBatch(opt Options, ct *ctable.CTable, ev *prob.Evaluator, probs map[i
 	// Entropy scoring fans out across the pool (concurrent map reads of
 	// probs are safe — nothing writes during selection); candidates are
 	// then collected sequentially in index order, exactly as before.
-	undecided := ct.Undecided()
-	hs := make([]float64, len(undecided))
-	parallel.For(opt.Workers, len(undecided), func(_, i int) {
-		hs[i] = Entropy(probs[undecided[i]])
+	hs := make([]float64, len(objs))
+	parallel.For(opt.Workers, len(objs), func(_, i int) {
+		hs[i] = Entropy(probs[objs[i]])
 	})
 	var cands []candidate
-	for i, o := range undecided {
-		if ct.Conds[o].NumExprs() == 0 {
+	for i, o := range objs {
+		if cond(o).NumExprs() == 0 {
 			continue
 		}
 		cands = append(cands, candidate{obj: o, h: hs[i]})
@@ -49,7 +64,7 @@ func selectBatch(opt Options, ct *ctable.CTable, ev *prob.Evaluator, probs map[i
 	}
 	freq := map[ctable.Expr]int{}
 	for _, c := range top {
-		for _, cl := range ct.Conds[c.obj].Clauses {
+		for _, cl := range cond(c.obj).Clauses {
 			for _, e := range cl {
 				freq[e]++
 			}
@@ -64,7 +79,10 @@ func selectBatch(opt Options, ct *ctable.CTable, ev *prob.Evaluator, probs map[i
 		}
 	}
 
-	used := map[ctable.Var]bool{}
+	used := make(map[ctable.Var]bool, len(busy))
+	for v := range busy {
+		used[v] = true
+	}
 	var tasks []crowd.Task
 	var varBuf []ctable.Var
 	spent := 0
@@ -72,7 +90,7 @@ func selectBatch(opt Options, ct *ctable.CTable, ev *prob.Evaluator, probs map[i
 		if spent >= k {
 			break
 		}
-		e, ok := pickExpr(opt, ev, ct.Conds[c.obj], probs[c.obj], freq, used)
+		e, ok := pickExpr(opt, ev, cond(c.obj), probs[c.obj], freq, used)
 		if !ok {
 			continue // every expression conflicts with this batch
 		}

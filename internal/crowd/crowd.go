@@ -71,6 +71,48 @@ type Platform interface {
 	Post(tasks []Task) ([]Answer, error)
 }
 
+// DelayedAnswer is an Answer stamped with its crowd latency: the number
+// of logical ticks after posting until the answer reaches the
+// requester. Zero means the answer is available within the posting tick
+// (a crowd that keeps up with the window).
+type DelayedAnswer struct {
+	Answer
+	// Delay is the arrival lag in ticks; never negative.
+	Delay int
+}
+
+// AsyncPlatform is a Platform that also models crowd latency: PostAsync
+// returns the same answer set Post would, each answer stamped with a
+// seeded arrival delay. The caller owns the clock — it holds each
+// answer until Delay ticks have elapsed — so the platform stays a pure,
+// deterministic function of its seed and the engine never blocks
+// waiting for the crowd.
+//
+// PostAsync inherits Post's fallibility contract: a partial answer set
+// with a nil error means the missing tasks were dropped, and a
+// round-level error means the whole call failed (any answers returned
+// alongside it are valid).
+type AsyncPlatform interface {
+	Platform
+	PostAsync(tasks []Task) ([]DelayedAnswer, error)
+}
+
+// PostDelayed posts the batch through the platform's latency model when
+// it has one, and otherwise adapts a synchronous Platform by stamping
+// every answer with delay zero — a perfectly prompt crowd. Streaming
+// callers use it so any Platform plugs into the asynchronous loop.
+func PostDelayed(p Platform, tasks []Task) ([]DelayedAnswer, error) {
+	if ap, ok := p.(AsyncPlatform); ok {
+		return ap.PostAsync(tasks)
+	}
+	answers, err := p.Post(tasks)
+	out := make([]DelayedAnswer, len(answers))
+	for i, a := range answers {
+		out[i] = DelayedAnswer{Answer: a}
+	}
+	return out, err
+}
+
 // Stats tracks the monetary-cost and latency metrics the paper reports —
 // total tasks posted (each costs a fixed amount, so #tasks is the
 // monetary cost) and rounds used (#rounds is the latency) — split by

@@ -25,12 +25,23 @@ var ErrOutage = errors.New("crowd: platform outage: round failed")
 //     partial answer set with a nil error;
 //   - spammers: each surviving answer is replaced with a uniformly
 //     random relation with probability SpamProb (a worker answering
-//     without reading the question).
+//     without reading the question);
+//   - latency: through PostAsync, each delivered answer is stamped with
+//     a seeded arrival delay drawn uniformly from [MinDelay, MaxDelay]
+//     ticks — the straggling-worker model the streaming crowd loop runs
+//     against.
 //
-// All draws come from the wrapper's own Rng in a fixed order (one outage
-// draw per round, then one drop and, if kept, one spam draw per task in
-// task order), independent of the inner platform's randomness, so a
-// fixed seed reproduces the exact same fault schedule run after run.
+// All draws come from the wrapper's own Rng in a fixed order — one
+// outage draw per round, then one drop and one spam draw per answer in
+// answer order (the spam draw is consumed even when the drop fires, so
+// the schedule downstream of a task never depends on that task's fate),
+// then one delay draw per delivered answer in delivery order (PostAsync
+// only) — independent of the inner platform's randomness, so a fixed
+// seed reproduces the exact same fault schedule run after run.
+//
+// When a drop and a spam fire on the same answer, the drop wins: a
+// dropped answer never reaches the requester, spammy or not, so it
+// counts in Dropped only and no spam event is emitted.
 type Unreliable struct {
 	Inner Platform
 	// DropProb is the per-task probability the answer never arrives.
@@ -40,8 +51,15 @@ type Unreliable struct {
 	// SpamProb is the per-task probability a delivered answer is replaced
 	// by a uniformly random relation.
 	SpamProb float64
+	// MinDelay and MaxDelay bound the per-answer arrival delay PostAsync
+	// draws, in logical ticks (inclusive). Both zero — the default —
+	// models a prompt crowd: every answer lands within its posting tick.
+	// MaxDelay below MinDelay is treated as a constant MinDelay-tick
+	// delay.
+	MinDelay int
+	MaxDelay int
 	// Rng drives the injection; required when any probability is
-	// positive.
+	// positive or the delay range spans more than one value.
 	Rng *rand.Rand
 
 	// Stats describes the rounds as the requester observed them through
@@ -97,14 +115,22 @@ func (u *Unreliable) Post(tasks []Task) ([]Answer, error) {
 	}
 	kept := answers[:0]
 	for _, a := range answers {
-		if u.DropProb > 0 && u.Rng.Float64() < u.DropProb {
+		// Both draws are consumed for every answer, dropped or not, so
+		// the injection schedule of the answers after this one is a pure
+		// function of their position — a drop firing here can never
+		// shift a later task's spam draw. When both fire the drop wins
+		// (a dropped answer never reaches the requester): the answer
+		// counts in Dropped only, and the spam relation is not drawn.
+		dropped := u.DropProb > 0 && u.Rng.Float64() < u.DropProb
+		spammed := u.SpamProb > 0 && u.Rng.Float64() < u.SpamProb
+		if dropped {
 			u.Dropped++
 			if u.Obs.On() {
 				u.Obs.Emit(obs.Event{Kind: obs.KindFaultDrop, Task: a.Task.Expr.String()})
 			}
 			continue
 		}
-		if u.SpamProb > 0 && u.Rng.Float64() < u.SpamProb {
+		if spammed {
 			u.Spammed++
 			a.Rel = []ctable.Rel{ctable.LT, ctable.EQ, ctable.GT}[u.Rng.Intn(3)]
 			if u.Obs.On() {
@@ -115,4 +141,29 @@ func (u *Unreliable) Post(tasks []Task) ([]Answer, error) {
 	}
 	u.Stats.record(len(tasks), len(kept), nil)
 	return kept, nil
+}
+
+// PostAsync posts the batch through the same fault pipeline as Post and
+// stamps every delivered answer with a seeded arrival delay, drawn
+// uniformly from [MinDelay, MaxDelay] in delivery order after the
+// round's drop/spam draws. The delay draws consume the same Rng, so a
+// synchronous Post and a PostAsync run are different schedules — pick
+// one channel per platform instance.
+func (u *Unreliable) PostAsync(tasks []Task) ([]DelayedAnswer, error) {
+	if u.MinDelay < 0 {
+		panic(fmt.Sprintf("crowd: negative MinDelay %d", u.MinDelay))
+	}
+	if u.MaxDelay > u.MinDelay && u.Rng == nil {
+		panic("crowd: a delay range needs an Rng")
+	}
+	answers, err := u.Post(tasks)
+	out := make([]DelayedAnswer, len(answers))
+	for i, a := range answers {
+		d := u.MinDelay
+		if u.MaxDelay > u.MinDelay {
+			d += u.Rng.Intn(u.MaxDelay - u.MinDelay + 1)
+		}
+		out[i] = DelayedAnswer{Answer: a, Delay: d}
+	}
+	return out, err
 }

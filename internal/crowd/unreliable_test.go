@@ -147,3 +147,160 @@ func TestSimulatedRejectsImperfectWorkersWithoutRng(t *testing.T) {
 		t.Fatalf("stats = %+v", p.Stats)
 	}
 }
+
+// TestUnreliableDropSpamPrecedence pins the injection schedule's draw
+// order by replaying it against an independent Rng with the same seed:
+// one drop draw and one spam draw per answer — consumed whether or not
+// the drop fires — with the drop winning when both fire. The regression
+// it guards: the spam draw used to be skipped for dropped answers, so a
+// drop shifted every later task's fault schedule.
+func TestUnreliableDropSpamPrecedence(t *testing.T) {
+	truth := truthTable()
+	tasks := someTasks(40)
+	const seed, dropP, spamP = 29, 0.4, 0.4
+
+	u := NewUnreliable(NewSimulated(truth, 1.0, nil), dropP, 0, spamP, rand.New(rand.NewSource(seed)))
+	got := mustPost(t, u, tasks)
+
+	// Oracle replay: OutageProb is zero, so no outage draw; then per
+	// answer a drop draw, a spam draw, and — only for kept, spammed
+	// answers — one relation draw.
+	oracle := rand.New(rand.NewSource(seed))
+	var want []Answer
+	bothFired, dropped, spammed := 0, 0, 0
+	for _, task := range tasks {
+		drop := oracle.Float64() < dropP
+		spam := oracle.Float64() < spamP
+		if drop && spam {
+			bothFired++
+		}
+		if drop {
+			dropped++
+			continue
+		}
+		rel := ctable.TrueRel(truth, task.Expr)
+		if spam {
+			spammed++
+			rel = []ctable.Rel{ctable.LT, ctable.EQ, ctable.GT}[oracle.Intn(3)]
+		}
+		want = append(want, Answer{Task: task, Rel: rel})
+	}
+	if bothFired == 0 {
+		t.Fatalf("seed %d no longer triggers drop and spam on the same answer; pick another", seed)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fault schedule diverged from the documented draw order\n got: %v\nwant: %v", got, want)
+	}
+	if u.Dropped != dropped || u.Spammed != spammed {
+		t.Fatalf("counters: dropped=%d spammed=%d, want %d/%d (drop must win when both fire)",
+			u.Dropped, u.Spammed, dropped, spammed)
+	}
+}
+
+// TestUnreliableDelaysDeterministicAndBounded checks the PostAsync
+// latency model: every delay lies in [MinDelay, MaxDelay], the schedule
+// reproduces under the seed, and a degenerate range is a constant
+// delay needing no Rng.
+func TestUnreliableDelaysDeterministicAndBounded(t *testing.T) {
+	truth := truthTable()
+	tasks := someTasks(12)
+	run := func() []int {
+		u := NewUnreliable(NewSimulated(truth, 1.0, nil), 0, 0, 0, rand.New(rand.NewSource(17)))
+		u.MinDelay, u.MaxDelay = 1, 5
+		var delays []int
+		for round := 0; round < 10; round++ {
+			answers, err := u.PostAsync(tasks)
+			if err != nil {
+				t.Fatalf("PostAsync: %v", err)
+			}
+			for _, a := range answers {
+				if a.Delay < 1 || a.Delay > 5 {
+					t.Fatalf("delay %d outside [1,5]", a.Delay)
+				}
+				delays = append(delays, a.Delay)
+			}
+		}
+		return delays
+	}
+	d1, d2 := run(), run()
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatal("same seed produced a different delay schedule")
+	}
+	spread := map[int]bool{}
+	for _, d := range d1 {
+		spread[d] = true
+	}
+	if len(spread) < 2 {
+		t.Fatalf("120 draws over [1,5] produced only %v", spread)
+	}
+
+	// Constant delay: no Rng required, every answer stamped MinDelay.
+	u := NewUnreliable(NewSimulated(truth, 1.0, nil), 0, 0, 0, nil)
+	u.MinDelay, u.MaxDelay = 3, 3
+	answers, err := u.PostAsync(tasks)
+	if err != nil {
+		t.Fatalf("PostAsync: %v", err)
+	}
+	for _, a := range answers {
+		if a.Delay != 3 {
+			t.Fatalf("constant-delay answer stamped %d, want 3", a.Delay)
+		}
+	}
+
+	// Misconfigurations panic loudly.
+	for _, fn := range []func(){
+		func() {
+			bad := NewUnreliable(NewSimulated(truth, 1.0, nil), 0, 0, 0, nil)
+			bad.MinDelay = -1
+			bad.PostAsync(tasks)
+		},
+		func() {
+			bad := NewUnreliable(NewSimulated(truth, 1.0, nil), 0, 0, 0, nil)
+			bad.MinDelay, bad.MaxDelay = 0, 4
+			bad.PostAsync(tasks)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid PostAsync configuration did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPostDelayedAdaptsSynchronousPlatforms checks the adapter: a plain
+// Platform's answers come back stamped with delay zero, while an
+// AsyncPlatform's own latency model is used.
+func TestPostDelayedAdaptsSynchronousPlatforms(t *testing.T) {
+	truth := truthTable()
+	tasks := someTasks(5)
+
+	sync := NewSimulated(truth, 1.0, nil)
+	delayed, err := PostDelayed(sync, tasks)
+	if err != nil {
+		t.Fatalf("PostDelayed: %v", err)
+	}
+	if len(delayed) != len(tasks) {
+		t.Fatalf("adapter returned %d answers for %d tasks", len(delayed), len(tasks))
+	}
+	for _, a := range delayed {
+		if a.Delay != 0 {
+			t.Fatalf("synchronous platform answer stamped delay %d, want 0", a.Delay)
+		}
+	}
+
+	async := NewUnreliable(NewSimulated(truth, 1.0, nil), 0, 0, 0, nil)
+	async.MinDelay, async.MaxDelay = 2, 2
+	delayed, err = PostDelayed(async, tasks)
+	if err != nil {
+		t.Fatalf("PostDelayed: %v", err)
+	}
+	for _, a := range delayed {
+		if a.Delay != 2 {
+			t.Fatalf("async platform answer stamped delay %d, want 2 (its own model)", a.Delay)
+		}
+	}
+}

@@ -111,6 +111,16 @@ func (t *DynCTable) IDs() []int {
 	return out
 }
 
+// Live reports whether the id currently names a live window object. Ids
+// are monotonic and never reused, so false means the object was evicted
+// (or never existed) — the check the streaming crowd loop runs before
+// absorbing an answer, since every answer races the eviction of the
+// object it describes.
+func (t *DynCTable) Live(id int) bool {
+	_, ok := t.slotOf[id]
+	return ok
+}
+
 // Cells returns the stored cells of a live object. The returned slice is
 // the table's own storage: callers must not mutate it.
 func (t *DynCTable) Cells(id int) []dataset.Cell {

@@ -28,6 +28,16 @@ type Knowledge struct {
 	NoInference bool
 	exprTruth   map[Expr]bool
 
+	// forgotten is the tombstone set: every variable Forget has ever
+	// retracted. Absorb rejects answers mentioning a forgotten variable
+	// (ErrForgotten) — stream ids are never reused, so a forgotten
+	// variable can only belong to an evicted object, and resurrecting an
+	// interval for it would corrupt every later inference. The set grows
+	// with evictions, not with answers: callers with unbounded streams
+	// pay O(#vars ever forgotten) memory for the structural guarantee
+	// that stale answers cannot be absorbed.
+	forgotten map[Var]bool
+
 	// Conflicts counts answers Absorb rejected for contradicting earlier
 	// knowledge. Discarded answers used to be invisible; the counter (and
 	// the ConflictError detail Absorb returns) makes noisy-worker damage
@@ -47,7 +57,19 @@ func NewKnowledge(d *dataset.Dataset) *Knowledge {
 		lo:     map[Var]int{}, hi: map[Var]int{},
 		rel:       map[[2]Var]Rel{},
 		exprTruth: map[Expr]bool{},
+		forgotten: map[Var]bool{},
 	}
+}
+
+// Empty reports whether the knowledge currently records nothing: no
+// interval was ever narrowed (or everything narrowed has since been
+// forgotten), no pairwise relation is stored, and no expression was
+// answered. The tombstone set does not count — forgotten variables are
+// an absence of knowledge, not a presence. Streaming callers use it to
+// skip condition simplification entirely until the first answer lands,
+// keeping the no-crowd path bit-identical to the machine-only engine.
+func (k *Knowledge) Empty() bool {
+	return len(k.lo) == 0 && len(k.hi) == 0 && len(k.rel) == 0 && len(k.exprTruth) == 0
 }
 
 // Bounds returns the inclusive interval of values still possible for x.
@@ -103,13 +125,61 @@ func (e *ConflictError) Error() string {
 // Is makes errors.Is(err, ErrConflict) succeed for ConflictError values.
 func (e *ConflictError) Is(target error) bool { return target == ErrConflict }
 
+// ErrForgotten is returned when an answer mentions a variable Forget has
+// retracted — an answer for an object that already left the streaming
+// window. The answer is discarded and nothing is recorded: absorbing it
+// would silently resurrect an interval for a variable no live condition
+// can mention. Match with errors.Is — the concrete value Absorb returns
+// is a *ForgottenError naming the stale variable.
+var ErrForgotten = fmt.Errorf("ctable: answer mentions a forgotten variable")
+
+// ForgottenError details one stale answer rejected by the
+// Absorb-after-Forget guard: the answered expression, the asserted
+// relation, and the first forgotten variable it mentions.
+// errors.Is(err, ErrForgotten) matches it.
+type ForgottenError struct {
+	Expr Expr
+	Rel  Rel
+	// Var is the forgotten variable the expression mentions.
+	Var Var
+}
+
+// Error renders the rejection with the stale variable.
+func (e *ForgottenError) Error() string {
+	return fmt.Sprintf("ctable: answer %v (%v) mentions forgotten variable %v", e.Expr, e.Rel, e.Var)
+}
+
+// Is makes errors.Is(err, ErrForgotten) succeed for ForgottenError values.
+func (e *ForgottenError) Is(target error) bool { return target == ErrForgotten }
+
+// forgottenVar returns the first forgotten variable the expression
+// mentions, if any. nil-map safe for zero-value Knowledge literals.
+func (k *Knowledge) forgottenVar(e Expr) (Var, bool) {
+	if len(k.forgotten) == 0 {
+		return Var{}, false
+	}
+	if k.forgotten[e.X] {
+		return e.X, true
+	}
+	if e.Kind == VarGTVar && k.forgotten[e.Y] {
+		return e.Y, true
+	}
+	return Var{}, false
+}
+
 // Absorb records the crowd's answer rel for the expression's comparison
 // (left operand REL right operand). For constant comparisons the
 // variable's interval shrinks; for variable pairs the relation is stored.
 // It returns a *ConflictError (matching ErrConflict) — leaving the
 // knowledge unchanged and incrementing Conflicts — if the answer would
-// empty the variable's domain or contradict a stored relation.
+// empty the variable's domain or contradict a stored relation, and a
+// *ForgottenError (matching ErrForgotten) if the expression mentions a
+// variable Forget has retracted; the guard applies under NoInference
+// too, so stale answers cannot resurrect state on any path.
 func (k *Knowledge) Absorb(e Expr, rel Rel) error {
+	if v, gone := k.forgottenVar(e); gone {
+		return &ForgottenError{Expr: e, Rel: rel, Var: v}
+	}
 	if k.NoInference {
 		k.exprTruth[e] = exprTruthFromRel(e, rel)
 		return nil
@@ -181,6 +251,12 @@ func varLess(a, b Var) bool {
 // long-running window does not accumulate intervals for variables that
 // can never be asked about again.
 //
+// Forget is also a tombstone: the variables join the forgotten set and
+// any later Absorb mentioning one of them is rejected with ErrForgotten
+// rather than silently resurrecting state — the retraction is permanent,
+// which is what makes absorbing a stale crowd answer impossible rather
+// than merely unlikely.
+//
 // Cost is O(len(vars)) for the intervals plus one scan of the stored
 // relations and answered expressions; crowd knowledge is small (bounded
 // by answers absorbed), so eviction-time scans stay cheap.
@@ -189,8 +265,12 @@ func (k *Knowledge) Forget(vars ...Var) {
 		return
 	}
 	gone := make(map[Var]bool, len(vars))
+	if k.forgotten == nil {
+		k.forgotten = map[Var]bool{}
+	}
 	for _, v := range vars {
 		gone[v] = true
+		k.forgotten[v] = true
 		delete(k.lo, v)
 		delete(k.hi, v)
 	}

@@ -2,6 +2,7 @@ package ctable
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 
 	"bayescrowd/internal/dataset"
@@ -184,5 +185,136 @@ func TestTrueRel(t *testing.T) {
 func TestRelString(t *testing.T) {
 	if LT.String() != "<" || EQ.String() != "=" || GT.String() != ">" {
 		t.Fatal("Rel.String broken")
+	}
+}
+
+func TestAbsorbAfterForgetReturnsTypedError(t *testing.T) {
+	k := knowledgeOver(10, 10)
+	x, y := v(0, 0), v(1, 0)
+	if err := k.Absorb(LTConst(x, 6), LT); err != nil {
+		t.Fatal(err)
+	}
+	k.Forget(x)
+
+	// The retraction is permanent: any answer mentioning x — on either
+	// side of the expression — is rejected with the typed error, not
+	// silently resurrected.
+	for _, e := range []Expr{LTConst(x, 3), GTConst(x, 2), GTVar(x, y), GTVar(y, x)} {
+		err := k.Absorb(e, GT)
+		if err == nil {
+			t.Fatalf("Absorb(%v) after Forget succeeded", e)
+		}
+		if !errors.Is(err, ErrForgotten) {
+			t.Fatalf("Absorb(%v) = %v, want ErrForgotten", e, err)
+		}
+		var fe *ForgottenError
+		if !errors.As(err, &fe) || fe.Var != x {
+			t.Fatalf("Absorb(%v) error names %+v, want variable %v", e, fe, x)
+		}
+	}
+	if lo, hi := k.Bounds(x); lo != 0 || hi != 9 {
+		t.Fatalf("rejected answers narrowed the forgotten interval to [%d,%d]", lo, hi)
+	}
+	if k.Conflicts != 0 {
+		t.Fatalf("stale answers counted as conflicts: %d", k.Conflicts)
+	}
+
+	// Unrelated variables absorb normally.
+	if err := k.Absorb(LTConst(y, 5), LT); err != nil {
+		t.Fatalf("Absorb on a live variable after Forget: %v", err)
+	}
+
+	// The guard holds under NoInference too.
+	ni := knowledgeOver(10)
+	ni.NoInference = true
+	if err := ni.Absorb(LTConst(v(0, 0), 5), LT); err != nil {
+		t.Fatal(err)
+	}
+	ni.Forget(v(0, 0))
+	if err := ni.Absorb(LTConst(v(0, 0), 5), LT); !errors.Is(err, ErrForgotten) {
+		t.Fatalf("NoInference Absorb after Forget = %v, want ErrForgotten", err)
+	}
+}
+
+func TestKnowledgeEmpty(t *testing.T) {
+	k := knowledgeOver(10, 10)
+	if !k.Empty() {
+		t.Fatal("fresh knowledge is not Empty")
+	}
+	if err := k.Absorb(LTConst(v(0, 0), 6), LT); err != nil {
+		t.Fatal(err)
+	}
+	if k.Empty() {
+		t.Fatal("Empty after an absorbed interval")
+	}
+	k.Forget(v(0, 0))
+	if !k.Empty() {
+		t.Fatal("tombstones alone must not make knowledge non-Empty")
+	}
+	if err := k.Absorb(GTVar(v(1, 0), v(2, 0)), GT); err != nil {
+		t.Fatal(err)
+	}
+	if k.Empty() {
+		t.Fatal("Empty after a stored relation")
+	}
+}
+
+// TestForgetAbsorbForgetProperty drives random Forget→Absorb→Forget
+// sequences and checks the guard's invariants throughout: an absorb
+// mentioning any ever-forgotten variable always fails with ErrForgotten
+// and changes nothing, while absorbs over live variables keep working,
+// whatever interleaving of forgets and answers came before.
+func TestForgetAbsorbForgetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 200; trial++ {
+		k := knowledgeOver(8, 8)
+		forgotten := map[Var]bool{}
+		vars := []Var{v(0, 0), v(0, 1), v(1, 0), v(1, 1), v(2, 0), v(2, 1)}
+		for step := 0; step < 40; step++ {
+			if rng.Intn(4) == 0 { // forget a random variable
+				fv := vars[rng.Intn(len(vars))]
+				k.Forget(fv)
+				forgotten[fv] = true
+				continue
+			}
+			x := vars[rng.Intn(len(vars))]
+			var e Expr
+			if rng.Intn(2) == 0 {
+				e = GTConst(x, 1+rng.Intn(5))
+			} else {
+				y := vars[rng.Intn(len(vars))]
+				if y == x {
+					continue
+				}
+				e = GTVar(x, y)
+			}
+			rel := []Rel{LT, EQ, GT}[rng.Intn(3)]
+			err := k.Absorb(e, rel)
+			stale := forgotten[e.X] || (e.Kind == VarGTVar && forgotten[e.Y])
+			if stale {
+				if !errors.Is(err, ErrForgotten) {
+					t.Fatalf("trial %d step %d: Absorb(%v) on forgotten var = %v, want ErrForgotten", trial, step, e, err)
+				}
+				continue
+			}
+			if errors.Is(err, ErrForgotten) {
+				t.Fatalf("trial %d step %d: Absorb(%v) rejected but no variable was forgotten", trial, step, e)
+			}
+			// Live-variable absorbs keep working: the only acceptable
+			// failure is a genuine conflict with earlier live knowledge.
+			if err != nil && !errors.Is(err, ErrConflict) {
+				t.Fatalf("trial %d step %d: Absorb(%v,%v) on live vars = %v", trial, step, e, rel, err)
+			}
+		}
+		// Post-condition: every forgotten variable reads as a full
+		// domain, and the tombstone survives any interleaving.
+		for fv := range forgotten {
+			if lo, hi := k.Bounds(fv); lo != 0 || hi != 7 {
+				t.Fatalf("trial %d: forgotten %v has bounds [%d,%d]", trial, fv, lo, hi)
+			}
+			if err := k.Absorb(GTConst(fv, 3), GT); !errors.Is(err, ErrForgotten) {
+				t.Fatalf("trial %d: final Absorb on forgotten %v = %v", trial, fv, err)
+			}
+		}
 	}
 }

@@ -109,6 +109,24 @@ const (
 	// KindStreamTick closes one streaming tick: N = arrivals absorbed,
 	// M = conditions re-evaluated.
 	KindStreamTick Kind = "stream.tick"
+	// KindStreamTaskPost reports a crowd task posted from the streaming
+	// loop: Task = expression, N = the tick it expires after (its
+	// deadline), M = the budget units reserved for it.
+	KindStreamTaskPost Kind = "stream.task.post"
+	// KindStreamTaskExpire reports an in-flight task retired overdue —
+	// its answer never arrived within the deadline: Task = expression,
+	// N = the tick it was posted, M = the budget units refunded.
+	KindStreamTaskExpire Kind = "stream.task.expire"
+	// KindStreamTaskAnswer reports a crowd answer ingested by the
+	// streaming loop: Task = expression, Rel = the asserted relation,
+	// N = the tick the task was posted.
+	KindStreamTaskAnswer Kind = "stream.task.answer"
+	// KindStreamTaskStale reports an answer discarded without absorption:
+	// Task = expression, Note = why ("evicted": the object left the
+	// window first; "late": the task already expired). N = the tick the
+	// task was posted, M = the budget units refunded (0 for late answers,
+	// whose expiry already refunded them).
+	KindStreamTaskStale Kind = "stream.task.stale"
 	// KindDegrade reports the run ending early on a best-effort result:
 	// Note = the degradation reason.
 	KindDegrade Kind = "degrade"

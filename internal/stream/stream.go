@@ -193,6 +193,21 @@ func (e *Engine) Len() int { return len(e.queue) }
 // expires, and re-evaluates every condition the edits touched. It
 // returns the tick's delta and the refreshed answer set.
 func (e *Engine) Tick(now int64, arrivals [][]dataset.Cell) TickResult {
+	e.beginTick(now)
+	var res TickResult
+	if e.cfg.Rebuild {
+		res = e.tickRebuild(now, arrivals)
+	} else {
+		res = e.tickIncremental(now, arrivals)
+	}
+	e.endTick(len(arrivals), &res)
+	return res
+}
+
+// beginTick advances the logical clock: the monotonicity check, the tick
+// counter, and the recorder's round stamp. Shared by the machine-only
+// Tick and the crowd loop's, so both stamp events identically.
+func (e *Engine) beginTick(now int64) {
 	if e.begun && now < e.last {
 		panic(fmt.Sprintf("stream: time went backwards (%d after %d)", now, e.last))
 	}
@@ -201,19 +216,15 @@ func (e *Engine) Tick(now int64, arrivals [][]dataset.Cell) TickResult {
 	e.tick++
 	e.cfg.Obs.SetRound(e.tick)
 	e.cTicks.Add(1)
+}
 
-	var res TickResult
-	if e.cfg.Rebuild {
-		res = e.tickRebuild(now, arrivals)
-	} else {
-		res = e.tickIncremental(now, arrivals)
-	}
+// endTick books the tick's counters and closes it on the trace.
+func (e *Engine) endTick(arrivals int, res *TickResult) {
 	e.cInserts.Add(int64(len(res.Inserted)))
 	e.cEvicts.Add(int64(len(res.Evicted)))
 	e.cRecomp.Add(int64(res.Recomputed))
 	e.cInvalEntries.Add(int64(res.InvalidatedEntries))
-	e.cfg.Obs.Emit(obs.Event{Kind: obs.KindStreamTick, N: len(arrivals), M: res.Recomputed})
-	return res
+	e.cfg.Obs.Emit(obs.Event{Kind: obs.KindStreamTick, N: arrivals, M: res.Recomputed})
 }
 
 // expire pops the window's expired prefix (the queue is in arrival
@@ -236,12 +247,24 @@ func (e *Engine) expire(now int64, arriving int) []entry {
 
 func (e *Engine) tickIncremental(now int64, arrivals [][]dataset.Cell) TickResult {
 	var res TickResult
+	e.evictStep(now, len(arrivals), &res)
+	e.insertStep(now, arrivals, &res, nil)
+	e.reevalStep(&res)
+	e.finish(&res)
+	return res
+}
 
+// evictStep retires what the window policy expires: the objects leave
+// the table, their distributions and cached probabilities are dropped,
+// and their dead cache components are invalidated in one batch. It
+// returns the retired variables so the crowd loop can retract the
+// knowledge recorded about them.
+func (e *Engine) evictStep(now int64, arriving int, res *TickResult) []ctable.Var {
 	// Retire first — the policy is applied as if the arrivals were
 	// already in, so a count-bound window never transiently exceeds its
 	// capacity and both modes expire the same ids.
 	var evictedVars []ctable.Var
-	for _, en := range e.expire(now, len(arrivals)) {
+	for _, en := range e.expire(now, arriving) {
 		vars := e.tbl.Evict(en.id)
 		for _, v := range vars {
 			delete(e.ev.Dists, v)
@@ -257,19 +280,32 @@ func (e *Engine) tickIncremental(now int64, arrivals [][]dataset.Cell) TickResul
 	if e.ev.Cache != nil && len(evictedVars) > 0 {
 		res.InvalidatedEntries = e.ev.Cache.Invalidate(evictedVars...)
 	}
+	return evictedVars
+}
 
+// insertStep absorbs the tick's arrivals: each one enters the table,
+// gets its missing-cell priors, and joins the live queue. onInsert,
+// when non-nil, observes each arrival's id and variables right after
+// its distributions exist — the crowd loop's hook for snapshotting the
+// base priors it renormalises as answers land.
+func (e *Engine) insertStep(now int64, arrivals [][]dataset.Cell, res *TickResult, onInsert func(id int, vars []ctable.Var)) {
 	for _, cells := range arrivals {
 		id, vars := e.tbl.Insert(cells)
 		for _, v := range vars {
 			e.ev.Dists[v] = e.cfg.Dist(id, v.Attr, e.cfg.Attrs[v.Attr].Levels)
 		}
+		if onInsert != nil {
+			onInsert(id, vars)
+		}
 		e.queue = append(e.queue, entry{id: id, ts: now})
 		res.Inserted = append(res.Inserted, id)
 		e.cfg.Obs.Emit(obs.Event{Kind: obs.KindStreamInsert, N: id, M: e.tbl.DomSize(id)})
 	}
+}
 
-	// Re-solve exactly the touched conditions; everything else keeps its
-	// probability from earlier ticks.
+// reevalStep re-solves exactly the conditions the tick's edits touched;
+// everything else keeps its probability from earlier ticks.
+func (e *Engine) reevalStep(res *TickResult) {
 	dirty := e.tbl.DrainDirty()
 	conds := make([]*ctable.Condition, len(dirty))
 	for i, id := range dirty {
@@ -280,9 +316,6 @@ func (e *Engine) tickIncremental(now int64, arrivals [][]dataset.Cell) TickResul
 		e.probs[id] = ps[i]
 	}
 	res.Recomputed = len(dirty)
-
-	e.finish(&res)
-	return res
 }
 
 func (e *Engine) tickRebuild(now int64, arrivals [][]dataset.Cell) TickResult {
