@@ -10,7 +10,8 @@ ci: fmt-check lint docs-check build test race
 
 # lint runs the repo's own invariant analyzers (cmd/bayeslint): the
 # determinism, single-writer, error-handling, goroutine-hygiene,
-# float-comparison, and doc-comment contracts from DESIGN.md "Enforced
+# float-comparison, doc-comment, hot-path-allocation, lock-discipline,
+# lock-copy, and ledger-conservation contracts from DESIGN.md "Enforced
 # invariants".
 lint:
 	go run ./cmd/bayeslint ./...

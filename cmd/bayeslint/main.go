@@ -1,15 +1,22 @@
-// Command bayeslint runs the repo's invariant linter: six analyzers
+// Command bayeslint runs the repo's invariant linter: ten analyzers
 // enforcing the determinism, single-writer, error-handling, goroutine-
-// hygiene, float-comparison, and doc-comment contracts the repo's PRs
-// introduced (see DESIGN.md "Enforced invariants" and package
-// internal/analysis).
+// hygiene, float-comparison, doc-comment, hot-path-allocation,
+// lock-discipline, lock-copy, and ledger-conservation contracts the
+// repo's PRs introduced (see DESIGN.md "Enforced invariants" and
+// package internal/analysis). The lockcheck, ledger, and
+// interprocedural errdrop/hotalloc tiers run on a whole-module call
+// graph with fixpoint summaries, so they follow contracts through
+// wrappers, closures, method values, and pool-submitted thunks.
 //
 // Usage:
 //
-//	bayeslint ./...                # lint every package (the CI gate)
-//	bayeslint ./internal/prob      # lint one package
-//	bayeslint -tests ./...         # include in-package _test.go files
-//	bayeslint -list                # list analyzers and exit
+//	bayeslint ./...                   # lint every package (the CI gate)
+//	bayeslint ./internal/prob         # lint one package
+//	bayeslint -tests ./...            # include in-package _test.go files
+//	bayeslint -analyzer lockcheck,ledger ./...   # run a subset
+//	bayeslint -sarif lint.sarif ./... # also write SARIF 2.1.0 for upload
+//	bayeslint -v ./...                # report load/analysis wall time
+//	bayeslint -list                   # list analyzers and exit
 //
 // Diagnostics print as file:line:col: message (analyzer). Suppress one
 // finding with a justified directive on the flagged line or the line
@@ -26,15 +33,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bayescrowd/internal/analysis"
 )
 
 func main() {
 	var (
-		listFlag  = flag.Bool("list", false, "list analyzers and exit")
-		testsFlag = flag.Bool("tests", false, "also lint in-package _test.go files")
-		rootFlag  = flag.String("root", "", "module root (default: nearest go.mod at or above the working directory)")
+		listFlag     = flag.Bool("list", false, "list analyzers and exit")
+		testsFlag    = flag.Bool("tests", false, "also lint in-package _test.go files")
+		rootFlag     = flag.String("root", "", "module root (default: nearest go.mod at or above the working directory)")
+		analyzerFlag = flag.String("analyzer", "", "comma-separated analyzer names to run (default: all)")
+		sarifFlag    = flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file ('-' for stdout)")
+		verboseFlag  = flag.Bool("v", false, "report load and analysis wall time on stderr")
+		workersFlag  = flag.Int("workers", 0, "per-package analysis workers (<=0: one per CPU)")
 	)
 	flag.Parse()
 
@@ -45,29 +57,59 @@ func main() {
 		return
 	}
 
+	analyzers, err := analysis.Select(analysis.Analyzers(), *analyzerFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	root := *rootFlag
 	if root == "" {
-		var err error
 		root, err = findModuleRoot()
 		if err != nil {
 			fail("%v", err)
 		}
 	}
 
+	loadStart := time.Now()
 	prog, err := analysis.Load(root, patterns, *testsFlag)
 	if err != nil {
 		fail("load: %v", err)
 	}
-	diags, err := analysis.Run(prog, analysis.RepoConfig(prog.ModulePath), analysis.Analyzers())
+	loadTime := time.Since(loadStart)
+
+	runStart := time.Now()
+	diags, err := analysis.Run(prog, analysis.RepoConfig(prog.ModulePath), analyzers, *workersFlag)
 	if err != nil {
 		fail("%v", err)
 	}
+	runTime := time.Since(runStart)
+
+	if *verboseFlag {
+		fmt.Fprintf(os.Stderr, "bayeslint: load %s (stdlib via %s), analysis %s, total %s\n",
+			loadTime.Round(time.Millisecond), prog.StdlibImportMode(),
+			runTime.Round(time.Millisecond), (loadTime + runTime).Round(time.Millisecond))
+	}
+
 	for _, d := range diags {
 		fmt.Println(d)
+	}
+	if *sarifFlag != "" {
+		out := os.Stdout
+		if *sarifFlag != "-" {
+			f, err := os.Create(*sarifFlag)
+			if err != nil {
+				fail("sarif: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := analysis.WriteSARIF(out, root, diags, analyzers); err != nil {
+			fail("sarif: %v", err)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "bayeslint: %d finding(s)\n", len(diags))

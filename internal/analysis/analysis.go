@@ -22,6 +22,24 @@
 //   - doccomment: exported declarations without a doc comment in the
 //     configured packages — the repo's exports are its paper-to-code
 //     map, so each must state the contract it exports.
+//   - lockcheck: fields annotated `// guarded by <mu>` may only be
+//     accessed where the interprocedural summary proves the mutex held;
+//     inconsistent lock-acquisition order is a finding too.
+//   - lockcopy: copies of mutex-containing values (by-value receivers,
+//     parameters, dereference copies, by-value ranges) fork the lock
+//     state and are flagged.
+//   - ledger: the crowd accounting counters (stream.CrowdLedger,
+//     crowd.Stats) may only be mutated inside the accounting helpers
+//     and the configured accounting call trees.
+//
+// Since PR 9 the driver computes an interprocedural facts layer before
+// the per-package passes run: a whole-module static call graph (static,
+// interface, closure, method-value and pool-thunk edges, resolved with
+// go/types only), per-function summaries (locks held at each call site,
+// errors forwarded, ledger reachability) and fixpoint propagation over
+// the graph. lockcheck, ledger, and the interprocedural errdrop and
+// hotalloc tiers all read from that shared store; see callgraph.go and
+// facts.go.
 //
 // Diagnostics are suppressed per site with
 //
@@ -35,6 +53,7 @@ package analysis
 import (
 	"fmt"
 	"go/token"
+	"strings"
 )
 
 // Analyzer is one named invariant check run over every loaded package.
@@ -54,6 +73,11 @@ type Pass struct {
 	Prog     *Program
 	Pkg      *Package
 	Cfg      *Config
+
+	// Facts is the interprocedural summary store (call graph, lock
+	// fixpoints, error-wrapper closure, ledger reachability), computed
+	// once per run before passes execute and read-only afterwards.
+	Facts *facts
 
 	// restricted is the effective determinism scope: the configured
 	// deterministic packages plus every module package they transitively
@@ -95,5 +119,34 @@ func Analyzers() []*Analyzer {
 		FloatCmpAnalyzer,
 		DocCommentAnalyzer,
 		HotAllocAnalyzer,
+		LockCheckAnalyzer,
+		LockCopyAnalyzer,
+		LedgerAnalyzer,
 	}
+}
+
+// Select filters the suite down to the comma-separated analyzer names
+// in sel ("" keeps everything). Unknown names error so a typo in
+// `-analyzer` cannot silently run nothing.
+func Select(all []*Analyzer, sel string) ([]*Analyzer, error) {
+	if sel == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run with -list to see the suite)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }

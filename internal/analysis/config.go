@@ -58,6 +58,16 @@ type Config struct {
 	// carry doc comments (the doccomment analyzer's scope). The module
 	// path itself makes the whole repo in scope.
 	DocPkgs []string
+
+	// LedgerTypes are "pkgpath.TypeName" references to the crowd
+	// accounting structures whose counters must stay conserved; the
+	// ledger analyzer restricts their mutation sites.
+	LedgerTypes []string
+	// LedgerRoots are "pkgpath.TypeName.Method" (or "pkgpath.Func")
+	// references naming the accounting entry points; ledger mutations
+	// are legal only in their interprocedural call trees and in methods
+	// declared on the ledger types themselves.
+	LedgerRoots []string
 }
 
 // RepoConfig is the bayescrowd contract set: the invariants PRs 1-3
@@ -85,9 +95,15 @@ func RepoConfig(modulePath string) *Config {
 			p("internal/prob") + ".Evaluator",
 			p("internal/prob") + ".ComponentCache",
 			p("internal/ctable") + ".DynCTable",
+			// Knowledge is mutated only between fan-outs (Absorb after a
+			// crowd round, Forget on eviction); it has no mutex by design,
+			// so the single-writer gate is its whole concurrency story.
+			p("internal/ctable") + ".Knowledge",
 		},
 		MutatingMethods: []string{
 			p("internal/prob") + ".ComponentCache.Invalidate",
+			p("internal/ctable") + ".Knowledge.Absorb",
+			p("internal/ctable") + ".Knowledge.Forget",
 		},
 		MustCheck: []string{
 			p("internal/crowd") + ".Platform.Post",
@@ -109,6 +125,14 @@ func RepoConfig(modulePath string) *Config {
 			p("internal/stream") + ".CrowdEngine.Tick",
 		},
 		DocPkgs: []string{modulePath},
+		LedgerTypes: []string{
+			p("internal/stream") + ".CrowdLedger",
+			p("internal/crowd") + ".Stats",
+		},
+		LedgerRoots: []string{
+			p("internal/stream") + ".CrowdEngine.Tick",
+			p("internal/core") + ".crowdPhase",
+		},
 	}
 }
 

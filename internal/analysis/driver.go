@@ -4,24 +4,47 @@ import (
 	"fmt"
 	"go/types"
 	"sort"
+
+	"bayescrowd/internal/parallel"
 )
 
 // Run executes the analyzers over every root package of the program and
 // returns the surviving diagnostics (after //lint:ignore filtering),
 // sorted by position. Packages with type errors fail loudly: linting an
 // uncompilable package would silently skip its invariants.
-func Run(prog *Program, cfg *Config, analyzers []*Analyzer) ([]Diagnostic, error) {
+//
+// The run has two phases. The serial facts phase type-checks everything
+// the config references, builds the call graph and runs the
+// interprocedural fixpoints (the only phase allowed to trigger lazy
+// package loading). The per-package analyzer passes then fan out over
+// internal/parallel with the given worker count: each package's
+// diagnostics land in its own slot of a pre-sized slice and are merged
+// in index order, so the output is bit-identical to a sequential run at
+// any worker count.
+func Run(prog *Program, cfg *Config, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	// known holds the full suite for the unknown-name check; ran holds
+	// what this invocation executes, so a directive naming a real but
+	// filtered-out analyzer is neither unknown nor unused.
 	known := map[string]bool{}
-	for _, a := range analyzers {
+	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
-	restricted := restrictedClosure(prog, cfg)
-
-	var all []Diagnostic
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true // test-only analyzers outside the suite
+		ran[a.Name] = true
+	}
 	for _, pkg := range prog.Roots {
 		if len(pkg.TypeErrors) > 0 {
 			return nil, fmt.Errorf("package %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
 		}
+	}
+	restricted := restrictedClosure(prog, cfg)
+	fcts := computeFacts(prog, cfg)
+
+	perPkg := make([][]Diagnostic, len(prog.Roots))
+	parallel.For(parallel.Workers(workers), len(prog.Roots), func(_, i int) {
+		pkg := prog.Roots[i]
 		var diags []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -29,13 +52,18 @@ func Run(prog *Program, cfg *Config, analyzers []*Analyzer) ([]Diagnostic, error
 				Prog:       prog,
 				Pkg:        pkg,
 				Cfg:        cfg,
+				Facts:      fcts,
 				restricted: restricted,
 				diags:      &diags,
 			}
 			a.Run(pass)
 		}
 		dirs := parseDirectives(prog, pkg, known)
-		all = append(all, applyDirectives(diags, dirs)...)
+		perPkg[i] = applyDirectives(diags, dirs, ran)
+	})
+	var all []Diagnostic
+	for _, d := range perPkg {
+		all = append(all, d...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]

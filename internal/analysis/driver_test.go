@@ -19,6 +19,7 @@ import (
 var goldenDirs = []string{
 	"determinism", "guarded", "singlewriter", "errdrop",
 	"pool", "goroutine", "floatcmp", "ignore", "doccomment", "hotalloc",
+	"lockcheck", "lockcopy", "ledger",
 }
 
 // goldenConfig mirrors RepoConfig with every contract pointed at the
@@ -37,6 +38,8 @@ func goldenConfig(modulePath string) *Config {
 		EpsilonHelperPattern: regexp.MustCompile(`(?i)(approx|almost|close|within|eps)`),
 		HotPathRoots:         []string{td + "/hotalloc.Scanner.Score"},
 		DocPkgs:              []string{td + "/doccomment"},
+		LedgerTypes:          []string{td + "/ledger.Ledger", td + "/ledger.Stats"},
+		LedgerRoots:          []string{td + "/ledger.Engine.Tick"},
 	}
 }
 
@@ -117,7 +120,7 @@ func TestGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	diags, err := Run(prog, goldenConfig(prog.ModulePath), Analyzers())
+	diags, err := Run(prog, goldenConfig(prog.ModulePath), Analyzers(), 0)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -155,7 +158,7 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	diags, err := Run(prog, RepoConfig(prog.ModulePath), Analyzers())
+	diags, err := Run(prog, RepoConfig(prog.ModulePath), Analyzers(), 0)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -177,7 +180,7 @@ func TestMissingReasonDirective(t *testing.T) {
 	prog := &Program{Fset: fset}
 	pkg := &Package{Files: []*ast.File{f}}
 	dirs := parseDirectives(prog, pkg, map[string]bool{"determinism": true})
-	diags := applyDirectives(nil, dirs)
+	diags := applyDirectives(nil, dirs, map[string]bool{"determinism": true})
 	if len(diags) != 1 {
 		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
 	}

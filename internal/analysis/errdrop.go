@@ -17,6 +17,14 @@ import (
 //     results *alongside* the error (partial answer sets, conflict
 //     errors), so discarding the error silently drops round failures
 //     and knowledge conflicts the caller is required to book.
+//
+// The must-check tier is interprocedural: the facts layer computes the
+// closure of functions whose returned error derives from a must-check
+// call (direct forwards, local error variables, named results with
+// naked returns, fmt.Errorf %w re-wraps), so blanking the error of
+// `postOnce(...)` is flagged exactly like blanking Platform.Post itself
+// — including when the wrapper is reached through a method value, a
+// bound closure variable, or an interface.
 var ErrDropAnalyzer = &Analyzer{
 	Name: "errdrop",
 	Doc:  "flag discarded error results; Platform.Post/Knowledge.Absorb errors are must-check even via _",
@@ -44,6 +52,9 @@ func runErrDrop(pass *Pass) {
 				if must, name := mustCheckCall(pass, info, call); must {
 					pass.Reportf(call.Pos(),
 						"error from must-check %s discarded: it returns valid partial results alongside errors (round failures, knowledge conflicts) that the caller must book", name)
+				} else if wname, via := wrappedMustCheck(pass, call); wname != "" {
+					pass.Reportf(call.Pos(),
+						"error from must-check %s discarded (call resolves to %s through the call graph): the callee forwards the error, so dropping it here drops the round failure", wname, via)
 				} else {
 					pass.Reportf(call.Pos(),
 						"result of %s contains an error that is silently discarded; handle it or discard explicitly with _ =", calleeName(fn, call))
@@ -67,17 +78,53 @@ func checkBlankedMustCheck(pass *Pass, info *types.Info, stmt *ast.AssignStmt) {
 		return
 	}
 	must, name := mustCheckCall(pass, info, call)
+	via := ""
 	if !must {
-		return
+		name, via = wrappedMustCheck(pass, call)
+		if name == "" {
+			return
+		}
 	}
 	for _, i := range resultErrorIndexes(info, call) {
 		if i < len(stmt.Lhs) {
 			if id, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
-				pass.Reportf(id.Pos(),
-					"error from must-check %s blanked with _: partial results arrive alongside errors, so the error must be inspected", name)
+				if via != "" {
+					pass.Reportf(id.Pos(),
+						"error from must-check %s blanked with _ (call resolves to %s through the call graph): the error must be inspected here", name, via)
+				} else {
+					pass.Reportf(id.Pos(),
+						"error from must-check %s blanked with _: partial results arrive alongside errors, so the error must be inspected", name)
+				}
 			}
 		}
 	}
+}
+
+// wrappedMustCheck resolves the call through the call graph and reports
+// the must-check method whose error the callee forwards: the callee may
+// be a wrapper from the fixpoint closure, or a must-check method
+// reached through a binding (method value, bound closure) that
+// calleeFunc cannot see. The second result names the resolved callee
+// for the message.
+func wrappedMustCheck(pass *Pass, call *ast.CallExpr) (name, via string) {
+	f := pass.Facts
+	if f == nil {
+		return "", ""
+	}
+	for _, e := range f.graph.bySite[call] {
+		if e.Async {
+			continue // the error surfaces on the submitting goroutine's future, not here
+		}
+		if e.Callee.Fn != nil {
+			if must, n := mustCheckFunc(pass.Prog, pass.Cfg, e.Callee.Fn); must {
+				return n, e.Callee.Name
+			}
+		}
+		if n, ok := f.wrappers[e.Callee]; ok {
+			return n, e.Callee.Name
+		}
+	}
+	return "", ""
 }
 
 // mustCheckCall reports whether the call resolves to a configured

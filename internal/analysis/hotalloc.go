@@ -9,11 +9,15 @@ import (
 // compiled clause-state engine got its speedup over the seed by hoisting
 // every per-call map into solver scratch reused across evaluations, and
 // a map allocated inside the hot loop quietly gives that back (interning
-// maps alone were worth tens of percent). The analyzer computes the set
-// of functions statically reachable — direct calls within the package —
-// from the configured hot-path roots (the evaluator entry points the
-// UBS/HHS selection loop calls per candidate) and flags every
-// `make(map...)` and map composite literal inside them.
+// maps alone were worth tens of percent). The analyzer flags every
+// `make(map...)` and map composite literal in functions reachable from
+// the configured hot-path roots over the interprocedural call graph —
+// including closures defined in hot functions, method values handed
+// around, and thunks submitted to the worker pool (a map allocated
+// inside a parallel.For body allocates once per index, the hottest
+// placement of all). Reachability stays confined to the root's own
+// package: the hot loop is self-contained by design, and cross-package
+// callees (obs counters, stdlib) own their allocation policy.
 //
 // Deliberate allocations stay, visibly: the seed-replica interning map
 // (the LegacyEngine baseline must allocate the way the seed did), the
@@ -27,91 +31,33 @@ var HotAllocAnalyzer = &Analyzer{
 }
 
 func runHotAlloc(pass *Pass) {
-	info := pass.Pkg.Info
-
-	// Collect this package's function declarations, keyed by their
-	// types.Func, and find which configured roots live here.
-	decls := map[*types.Func]*ast.FuncDecl{}
-	byRef := map[string]*types.Func{}
-	for _, file := range pass.Pkg.Files {
-		for _, d := range file.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			decls[fn] = fd
-			byRef[funcRef(fn)] = fn
-		}
-	}
-	var roots []*types.Func
-	for _, ref := range pass.Cfg.HotPathRoots {
-		if fn, ok := byRef[ref]; ok {
-			roots = append(roots, fn)
-		}
-	}
-	if len(roots) == 0 {
+	f := pass.Facts
+	if f == nil || len(f.hotRoots) == 0 {
 		return
 	}
+	info := pass.Pkg.Info
 
-	// Breadth-first reachability over direct static calls, staying inside
-	// the package (the hot loop is self-contained; calls through function
-	// variables and interfaces are out of this approximation's reach).
-	// reached maps each function to the first root that reaches it, for
-	// the diagnostic.
-	reached := map[*types.Func]*types.Func{}
-	queue := make([]*types.Func, 0, len(roots))
-	for _, r := range roots {
-		reached[r] = r
-		queue = append(queue, r)
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		fd := decls[fn]
-		if fd == nil {
+	reached := f.graph.reachableFrom(f.hotRoots, pass.Pkg)
+	for fn, root := range reached {
+		if fn.Pkg != pass.Pkg {
 			continue
 		}
-		root := reached[fn]
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := calleeFunc(info, call)
-			if callee == nil || reached[callee] != nil {
-				return true
-			}
-			if _, local := decls[callee]; local {
-				reached[callee] = root
-				queue = append(queue, callee)
-			}
-			return true
-		})
-	}
-
-	for fn, root := range reached {
-		fd := decls[fn]
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
+		forEachOwnNode(fn.Body, func(n ast.Node) {
 			switch expr := n.(type) {
 			case *ast.CallExpr:
 				if id, ok := ast.Unparen(expr.Fun).(*ast.Ident); ok && id.Name == "make" &&
 					info.Uses[id] == types.Universe.Lookup("make") && isMapType(info.TypeOf(expr)) {
 					pass.Reportf(expr.Pos(),
 						"per-call map allocation in %s, reachable from hot-loop root %s: hoist it into solver scratch reused across evaluations",
-						fn.Name(), root.Name())
+						fn.Name, root.Name)
 				}
 			case *ast.CompositeLit:
 				if isMapType(info.TypeOf(expr)) {
 					pass.Reportf(expr.Pos(),
 						"per-call map literal in %s, reachable from hot-loop root %s: hoist it into solver scratch reused across evaluations",
-						fn.Name(), root.Name())
+						fn.Name, root.Name)
 				}
 			}
-			return true
 		})
 	}
 }

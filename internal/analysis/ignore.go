@@ -81,7 +81,11 @@ func (d *directive) matches(diag Diagnostic) bool {
 // applyDirectives filters diags through the package's directives and
 // appends one diagnostic per malformed or unused directive, keeping the
 // suppression set exact: every directive must justify a live finding.
-func applyDirectives(diags []Diagnostic, dirs map[string][]*directive) []Diagnostic {
+// ran names the analyzers this invocation actually executed; a
+// directive is only held to the unused check when at least one of its
+// analyzers ran (so `-analyzer` filtering cannot make every other
+// directive fail).
+func applyDirectives(diags []Diagnostic, dirs map[string][]*directive, ran map[string]bool) []Diagnostic {
 	var kept []Diagnostic
 	for _, diag := range diags {
 		suppressed := false
@@ -109,7 +113,7 @@ func applyDirectives(diags []Diagnostic, dirs map[string][]*directive) []Diagnos
 					Analyzer: "bayeslint",
 					Message:  "malformed lint:ignore directive: " + d.malformed,
 				})
-			case !d.used:
+			case !d.used && anyRan(d.analyzers, ran):
 				kept = append(kept, Diagnostic{
 					Pos:      d.pos,
 					Analyzer: "bayeslint",
@@ -119,4 +123,14 @@ func applyDirectives(diags []Diagnostic, dirs map[string][]*directive) []Diagnos
 		}
 	}
 	return kept
+}
+
+// anyRan reports whether any of the named analyzers executed this run.
+func anyRan(names []string, ran map[string]bool) bool {
+	for _, n := range names {
+		if ran[n] {
+			return true
+		}
+	}
+	return false
 }

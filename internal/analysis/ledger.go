@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LedgerAnalyzer enforces conservation of the crowdsourcing accounting
+// state. The configured ledger types (stream.CrowdLedger, crowd.Stats)
+// hold the counters behind the paper's budget guarantee — Posted must
+// equal Charged + Refunded + reserved at every quiescent point — and
+// that identity only survives review if the set of mutation sites stays
+// auditable. The analyzer therefore restricts every counter write and
+// every mutating (pointer-receiver) method call on a ledger type to:
+//
+//   - the accounting helpers: methods declared on the ledger types
+//     themselves (CrowdLedger.add, Stats.record), and their call trees;
+//   - the configured accounting roots' call trees (CrowdEngine.Tick,
+//     core.crowdPhase), resolved interprocedurally over the call graph —
+//     including closures, method values, and pool-submitted thunks;
+//   - function literals lexically nested inside an allowed node (they
+//     execute as part of it even when no call edge is visible).
+//
+// A new call site that bumps TasksPosted from, say, a CLI command or a
+// test helper is a finding: route it through the engine or a helper so
+// the conservation check keeps meaning something.
+var LedgerAnalyzer = &Analyzer{
+	Name: "ledger",
+	Doc:  "ledger counters (CrowdLedger, Stats) may only be mutated inside accounting helpers and the configured accounting call trees",
+	Run:  runLedger,
+}
+
+func runLedger(pass *Pass) {
+	f := pass.Facts
+	if f == nil || len(f.ledgerTypes) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, n := range f.graph.Nodes {
+		if n.Pkg != pass.Pkg || f.ledgerNodeAllowed(n) {
+			continue
+		}
+		forEachOwnNode(n.Body, func(an ast.Node) {
+			switch st := an.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkLedgerWrite(pass, f, n, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkLedgerWrite(pass, f, n, st.X)
+			case *ast.CallExpr:
+				fn := calleeFunc(info, st)
+				if fn == nil || !f.isLedgerMethod(fn) {
+					return
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return
+				}
+				if _, ptr := sig.Recv().Type().(*types.Pointer); !ptr {
+					return // value-receiver methods are reads
+				}
+				pass.Reportf(st.Pos(),
+					"accounting helper %s called outside the accounting call trees (from %s): ledger mutations must flow through the configured roots so counter conservation stays auditable",
+					calleeName(fn, st), n.rootName())
+			}
+		})
+	}
+}
+
+// checkLedgerWrite flags an assignment target that stores into a field
+// of a ledger-typed value. Index and slice chains are unwrapped so
+// element stores into ledger-held maps count too.
+func checkLedgerWrite(pass *Pass, f *facts, n *cgNode, lhs ast.Expr) {
+	info := pass.Pkg.Info
+	e := ast.Unparen(lhs)
+	for {
+		switch ex := e.(type) {
+		case *ast.IndexExpr:
+			e = ast.Unparen(ex.X)
+			continue
+		case *ast.StarExpr:
+			e = ast.Unparen(ex.X)
+			continue
+		case *ast.SliceExpr:
+			e = ast.Unparen(ex.X)
+			continue
+		}
+		break
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !f.isLedgerType(tv.Type) {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"write to ledger counter %s outside the accounting call trees (in %s): mutate it through an accounting helper or a function reachable from the configured roots",
+		ledgerFieldDisplay(f, info, sel), n.rootName())
+}
+
+// ledgerFieldDisplay renders "Type.Field" for a ledger counter write.
+func ledgerFieldDisplay(f *facts, info *types.Info, sel *ast.SelectorExpr) string {
+	if tv, ok := info.Types[sel.X]; ok {
+		if named := namedOf(tv.Type); named != nil {
+			return named.Obj().Name() + "." + sel.Sel.Name
+		}
+	}
+	return sel.Sel.Name
+}

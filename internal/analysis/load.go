@@ -3,7 +3,6 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -43,9 +42,14 @@ type Program struct {
 
 	byPath       map[string]*Package
 	loading      map[string]bool
-	std          types.Importer
+	std          *exportDataImporter
 	includeTests bool
 }
+
+// StdlibImportMode reports how standard-library imports were served
+// ("export data", "export data + source fallback", or "source"), for
+// `bayeslint -v`.
+func (p *Program) StdlibImportMode() string { return p.std.Mode() }
 
 // Load parses and type-checks the packages matched by patterns under the
 // module rooted at root. Patterns follow the go tool's shape: "./..."
@@ -69,7 +73,7 @@ func Load(root string, patterns []string, includeTests bool) (*Program, error) {
 		ModuleRoot:   absRoot,
 		byPath:       map[string]*Package{},
 		loading:      map[string]bool{},
-		std:          importer.ForCompiler(fset, "source", nil),
+		std:          newStdImporter(fset, absRoot),
 		includeTests: includeTests,
 	}
 

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopyAnalyzer flags copies of values containing sync.Mutex or
+// sync.RWMutex (directly or through nested fields and arrays). A copied
+// mutex is a fork of the lock state: both copies unlock independently,
+// so the discipline lockcheck proves for the original silently stops
+// applying to the copy. Flagged shapes:
+//
+//   - value (non-pointer) receivers on types containing a mutex;
+//   - mutex-containing parameter and result types passed by value;
+//   - assignments and short declarations whose right-hand side
+//     dereferences or re-reads a mutex-containing value (`s := *shard`,
+//     `cp := c.shards[i]`);
+//   - range over a slice/array of mutex-containing values by value.
+//
+// Taking a pointer, indexing in place (`&c.shards[i]`), or copying a
+// struct whose mutexes are behind pointers are all fine.
+var LockCopyAnalyzer = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "flag copies of mutex-containing values: a copied lock forks the lock state",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSigLocks(pass, info, d.Recv, d.Type)
+			case *ast.FuncLit:
+				checkFuncSigLocks(pass, info, nil, d.Type)
+			case *ast.AssignStmt:
+				for _, rhs := range d.Rhs {
+					checkValueCopy(pass, info, rhs)
+				}
+			case *ast.RangeStmt:
+				checkRangeCopy(pass, info, d)
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncSigLocks flags by-value mutex-containing receivers,
+// parameters and results in a function signature.
+func checkFuncSigLocks(pass *Pass, info *types.Info, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, role string) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			tv, ok := info.Types[fld.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if containsMutex(tv.Type) {
+				pass.Reportf(fld.Type.Pos(),
+					"%s of type %s is passed by value but contains a mutex: the copy forks the lock state — use a pointer",
+					role, types.TypeString(tv.Type, relativeTo(pass.Pkg)))
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// checkValueCopy flags RHS expressions that copy a mutex-containing
+// value out of a dereference, field read, or element read.
+func checkValueCopy(pass *Pass, info *types.Info, rhs ast.Expr) {
+	e := ast.Unparen(rhs)
+	switch e.(type) {
+	case *ast.StarExpr, *ast.IndexExpr, *ast.SelectorExpr:
+	default:
+		return // literals, calls, plain idents: not a re-read copy
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+		return
+	}
+	if containsMutex(tv.Type) {
+		pass.Reportf(e.Pos(),
+			"copying a value of type %s forks the mutex it contains: take its address instead",
+			types.TypeString(tv.Type, relativeTo(pass.Pkg)))
+	}
+}
+
+// checkRangeCopy flags by-value iteration over mutex-containing
+// elements.
+func checkRangeCopy(pass *Pass, info *types.Info, r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	// The `:=` form defines the value ident, so its type lives in Defs,
+	// not Types; the `=` form is an ordinary expression.
+	var t types.Type
+	if tv, ok := info.Types[r.Value]; ok && tv.Type != nil {
+		t = tv.Type
+	} else if id, ok := r.Value.(*ast.Ident); ok {
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			t = v.Type()
+		}
+	}
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	if containsMutex(t) {
+		pass.Reportf(r.Value.Pos(),
+			"ranging by value over elements of type %s copies the mutex each element contains: range over indexes and address the element",
+			types.TypeString(t, relativeTo(pass.Pkg)))
+	}
+}
+
+// containsMutex reports whether the type embeds a sync mutex by value —
+// directly, in a struct field, or in an array element. Pointers, maps,
+// slices and channels break containment (no copy of the pointee).
+func containsMutex(t types.Type) bool {
+	return containsMutexRec(t, map[types.Type]bool{})
+}
+
+func containsMutexRec(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if mutexKind(t) != "" {
+		// mutexKind strips pointers; re-check that this level is not a
+		// pointer (a *sync.Mutex field copies the pointer, not the lock).
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutexRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutexRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// relativeTo renders type names unqualified inside their own package.
+func relativeTo(pkg *Package) types.Qualifier {
+	if pkg.Types == nil {
+		return nil
+	}
+	return types.RelativeTo(pkg.Types)
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF output (Static Analysis Results Interchange Format, version
+// 2.1.0): the subset GitHub code scanning consumes, so the CI lint job
+// can upload bayeslint findings via codeql-action/upload-sarif and have
+// them annotate pull requests inline. The encoding is deterministic —
+// rules sorted by id, results in the driver's position order, no
+// timestamps — so two runs over the same tree produce byte-identical
+// files and the artifact diffs cleanly.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF encodes the diagnostics as a SARIF 2.1.0 log. root is the
+// module root; file paths are rewritten relative to it (with forward
+// slashes) so the upload maps onto the repository checkout regardless
+// of where the linter ran. analyzers provides the rule metadata; the
+// synthetic "bayeslint" rule (directive hygiene findings) is always
+// present.
+func WriteSARIF(w io.Writer, root string, diags []Diagnostic, analyzers []*Analyzer) error {
+	rules := []sarifRule{{ID: "bayeslint", ShortDescription: sarifMessage{Text: "suppression-directive hygiene: malformed or unused //lint:ignore"}}}
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: sarifURI(root, d.Pos.Filename), URIBaseID: "SRCROOT"},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "bayeslint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a diagnostic's file path relative to the module root
+// with forward slashes, falling back to the absolute path when the file
+// lies outside the root.
+func sarifURI(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

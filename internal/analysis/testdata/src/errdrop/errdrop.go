@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	guarded "bayescrowd/internal/analysis/testdata/src/guarded"
+	pool "bayescrowd/internal/analysis/testdata/src/pool"
 )
 
 func work() error { return errors.New("boom") }
@@ -37,4 +38,44 @@ func mustCheck(p guarded.Platform, s guarded.Sim) {
 	if got, err := p.Post(nil); err == nil { // ok: the error is inspected
 		_ = got
 	}
+}
+
+// postOnce wraps the must-check call and forwards its error: the
+// wrapper fixpoint makes it must-check too.
+func postOnce(p guarded.Platform) error {
+	res, err := p.Post([]int{1})
+	_ = res
+	return err
+}
+
+// rewrap forwards the error through fmt.Errorf and a named result,
+// still a wrapper.
+func rewrap(p guarded.Platform) (err error) {
+	_, e := p.Post(nil)
+	if e != nil {
+		err = fmt.Errorf("posting: %w", e)
+	}
+	return
+}
+
+func viaWrapper(p guarded.Platform, s guarded.Sim) {
+	_ = postOnce(p)                     // want `error from must-check Platform\.Post blanked with _ \(call resolves to postOnce through the call graph\)`
+	_ = rewrap(p)                       // want `error from must-check Platform\.Post blanked with _ \(call resolves to rewrap through the call graph\)`
+	if err := postOnce(p); err != nil { // ok: inspected
+		return
+	}
+	post := s.Post // method value: the call below resolves through the binding
+	if _, err := post(nil); err != nil {
+		return
+	}
+	res, _ := post([]int{2}) // want `error from must-check Platform\.Post blanked with _ \(call resolves to Post through the call graph\)`
+	_ = res
+}
+
+// inPool drops the error inside a pool-submitted thunk: the literal's
+// body is ordinary code, so the tier-1 rule still fires there.
+func inPool(p guarded.Platform) {
+	pool.For(1, 1, func(w, i int) {
+		p.Post(nil) // want `error from must-check Platform\.Post discarded`
+	})
 }

@@ -1,7 +1,10 @@
 // Package hotalloc is golden input for the hot-path map-allocation
 // analyzer. The configured root is Scanner.Score; everything it reaches
-// by direct calls is hot, the rest of the package is not.
+// over the call graph — direct calls, closures, method values, and
+// pool-submitted thunks — is hot, the rest of the package is not.
 package hotalloc
+
+import pool "bayescrowd/internal/analysis/testdata/src/pool"
 
 // Scanner is the stand-in for the evaluator whose entry points the
 // selection loop calls per candidate.
@@ -15,7 +18,34 @@ func (s *Scanner) Score(keys []string) int {
 	for _, k := range keys {
 		m[k]++
 	}
-	return s.solve(keys) + len(m)
+	s.sweep(keys)
+	return s.solve(keys) + s.indirect(keys) + len(m)
+}
+
+// sweep fans out over the pool: the submitted thunk allocates once per
+// index, the hottest placement of all, and is reached through the
+// thunk edge.
+func (s *Scanner) sweep(keys []string) {
+	pool.For(2, len(keys), func(w, i int) {
+		m := make(map[string]int) // want `per-call map allocation in function literal in sweep`
+		m[keys[i]]++
+	})
+}
+
+// indirect reaches alloc through a method value bound to a variable.
+func (s *Scanner) indirect(keys []string) int {
+	f := s.alloc
+	return f(keys)
+}
+
+// alloc is only reachable through the binding above; the closure edge
+// still puts it in the hot region.
+func (s *Scanner) alloc(keys []string) int {
+	seen := map[string]bool{} // want `per-call map literal in alloc`
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return len(seen)
 }
 
 // solve is reachable from the root through a direct call.

@@ -1,0 +1,61 @@
+// Package ledger is golden input for the ledger-conservation analyzer:
+// counter mutations are legal only inside the accounting helpers
+// (methods on the ledger types) and the configured root call trees.
+package ledger
+
+// Ledger is a configured conservation type.
+type Ledger struct {
+	Posted  int
+	Charged int
+}
+
+// add is the accounting helper: mutation inside a ledger-type method is
+// always legal.
+func (l *Ledger) add(d Ledger) {
+	l.Posted += d.Posted
+	l.Charged += d.Charged
+}
+
+// Stats is the second configured conservation type.
+type Stats struct {
+	Rounds int
+}
+
+// record is its accounting helper.
+func (s *Stats) record(n int) { s.Rounds += n }
+
+// Engine owns the accounting; Tick is the configured root.
+type Engine struct {
+	led   Ledger
+	stats Stats
+}
+
+// Tick mutates directly, through a helper in its call tree, and through
+// a nested literal: all legal.
+func (e *Engine) Tick() {
+	e.led.Posted++
+	e.step()
+	func() {
+		e.led.Charged++
+	}()
+}
+
+// step is reachable from the root, so its mutations are in the tree.
+func (e *Engine) step() {
+	e.led.add(Ledger{Posted: 1, Charged: 1})
+	e.stats.record(1)
+}
+
+// Rogue mutates from outside the accounting tree: every site is a
+// finding.
+func Rogue(l *Ledger, s *Stats) {
+	l.Posted++        // want `write to ledger counter Ledger\.Posted outside the accounting call trees`
+	l.add(Ledger{})   // want `accounting helper Ledger\.add called outside the accounting call trees`
+	s.Rounds = 7      // want `write to ledger counter Stats\.Rounds outside the accounting call trees`
+	s.record(2)       // want `accounting helper Stats\.record called outside the accounting call trees`
+	n := l.Posted + 1 // clean: reads are unrestricted
+	_ = n
+}
+
+// Snapshot reads only: value receiver, no mutation, clean anywhere.
+func (l Ledger) Snapshot() Ledger { return l }

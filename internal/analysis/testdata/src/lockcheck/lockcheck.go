@@ -1,0 +1,161 @@
+// Package lockcheck is golden input for the lock-discipline analyzer:
+// fields annotated `guarded by <mu>` may only be accessed where the
+// interprocedural summary proves the mutex held.
+package lockcheck
+
+import (
+	"sync"
+
+	pool "bayescrowd/internal/analysis/testdata/src/pool"
+)
+
+// Shard mirrors the component cache's sharded map.
+type Shard struct {
+	mu sync.Mutex
+	// guarded by mu
+	m map[string]int
+	// guarded by missing
+	bad int // want `guarded-by annotation names "missing", which is not a field of Shard`
+	// guarded by m
+	worse int // want `guarded-by annotation names Shard\.m, which is not a sync\.Mutex or sync\.RWMutex`
+}
+
+// Get accesses the map with the lock held: clean.
+func (s *Shard) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// Bare reads the guarded map without any lock.
+func (s *Shard) Bare(k string) int {
+	return s.m[k] // want `read of Shard\.m \(guarded by Shard\.mu\) without holding the mutex`
+}
+
+// Put shows the early-unlock-return shape the branch merge must get
+// right: the then-branch diverges after unlocking, so the fallthrough
+// path still holds the lock.
+func (s *Shard) Put(k string, v int) {
+	s.mu.Lock()
+	if v < 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.m[k] = v // clean: the negative path returned above
+	s.mu.Unlock()
+}
+
+// Racy only locks on one branch; the access below the merge is not
+// proved on both paths.
+func (s *Shard) Racy(cond bool, k string) {
+	if cond {
+		s.mu.Lock()
+	}
+	s.m[k] = 1 // want `write to Shard\.m \(guarded by Shard\.mu\) without holding the mutex`
+	if cond {
+		s.mu.Unlock()
+	}
+}
+
+// compact is never locked locally: every call site holds the mutex, so
+// the entry-held fixpoint proves its accesses. This is the cache's
+// "called with mu held" helper pattern, now machine-checked.
+func (s *Shard) compact(k string) {
+	delete(s.m, k)
+	s.m[k] = 0
+}
+
+// Trim calls compact with the lock held.
+func (s *Shard) Trim(k string) {
+	s.mu.Lock()
+	s.compact(k)
+	s.mu.Unlock()
+}
+
+// Drop also calls compact with the lock held, so the intersection over
+// both call sites keeps the proof.
+func (s *Shard) Drop(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compact(k)
+}
+
+// leak is called once with the lock and once without: the intersection
+// over its call sites is empty, so its access is a finding.
+func (s *Shard) leak(k string) {
+	s.m[k]++ // want `write to Shard\.m \(guarded by Shard\.mu\) without holding the mutex`
+}
+
+// Mixed provides the lock-free call site that breaks leak's proof.
+func (s *Shard) Mixed(k string) {
+	s.mu.Lock()
+	s.leak(k)
+	s.mu.Unlock()
+	s.leak(k)
+}
+
+// Fanout submits a thunk to the pool while holding the lock. The thunk
+// runs on a worker goroutine, so the submitter's lock does not protect
+// the access inside it.
+func (s *Shard) Fanout(keys []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pool.For(2, len(keys), func(w, i int) {
+		s.m[keys[i]] = i // want `write to Shard\.m \(guarded by Shard\.mu\) without holding the mutex`
+	})
+}
+
+// Table exercises the read/write lock modes.
+type Table struct {
+	rw sync.RWMutex
+	// guarded by rw
+	idx map[string]int
+}
+
+// ReadOK reads under the read lock: clean.
+func (t *Table) ReadOK(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.idx[k]
+}
+
+// WriteUnderRead mutates under RLock: the read lock only licenses
+// reads.
+func (t *Table) WriteUnderRead(k string) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.idx[k] = 1 // want `write to Table\.idx \(guarded by Table\.rw\) under a read lock`
+}
+
+// WriteOK takes the write lock: clean.
+func (t *Table) WriteOK(k string) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.idx[k] = 1
+}
+
+// Pair nests its two mutexes in both orders across the two methods
+// below: each inner acquisition is a deadlock finding.
+type Pair struct {
+	muA sync.Mutex
+	muB sync.Mutex
+	n   int
+}
+
+// AB locks muA then muB.
+func (p *Pair) AB() {
+	p.muA.Lock()
+	p.muB.Lock() // want `lock Pair\.muB acquired while holding Pair\.muA, but the opposite order also occurs`
+	p.n++
+	p.muB.Unlock()
+	p.muA.Unlock()
+}
+
+// BA locks muB then muA.
+func (p *Pair) BA() {
+	p.muB.Lock()
+	p.muA.Lock() // want `lock Pair\.muA acquired while holding Pair\.muB, but the opposite order also occurs`
+	p.n++
+	p.muA.Unlock()
+	p.muB.Unlock()
+}

@@ -1,0 +1,79 @@
+// Package lockcopy is golden input for the lock-copy analyzer: values
+// containing a mutex must move by pointer, because a copied mutex forks
+// the lock state.
+package lockcopy
+
+import "sync"
+
+// Box holds a mutex by value.
+type Box struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// Inc uses a pointer receiver: clean.
+func (b *Box) Inc() {
+	b.Mu.Lock()
+	b.N++
+	b.Mu.Unlock()
+}
+
+// Read copies the box into the receiver on every call.
+func (b Box) Read() int { // want `receiver of type Box is passed by value but contains a mutex`
+	return b.N
+}
+
+func value(b Box) int { // want `parameter of type Box is passed by value but contains a mutex`
+	return b.N
+}
+
+func produce() Box { // want `result of type Box is passed by value but contains a mutex`
+	return Box{}
+}
+
+func copyOut(p *Box) int {
+	cp := *p // want `copying a value of type Box forks the mutex it contains`
+	return cp.N
+}
+
+func rangeCopy(boxes []Box) int {
+	total := 0
+	for _, b := range boxes { // want `ranging by value over elements of type Box copies the mutex`
+		total += b.N
+	}
+	for i := range boxes { // clean: indexing addresses the element in place
+		total += boxes[i].N
+	}
+	return total
+}
+
+// Nested embeds the mutex two levels down; containment still holds.
+type Nested struct {
+	inner Box
+}
+
+func nestedCopy(n *Nested) int {
+	cp := *n // want `copying a value of type Nested forks the mutex it contains`
+	return cp.inner.N
+}
+
+// Handle keeps the mutex behind a pointer: copying the handle shares
+// the lock instead of forking it, so everything here is clean.
+type Handle struct {
+	mu *sync.Mutex
+	n  int
+}
+
+func handleCopy(h Handle) Handle {
+	cp := h
+	return cp
+}
+
+var (
+	_ = value
+	_ = produce
+	_ = copyOut
+	_ = rangeCopy
+	_ = nestedCopy
+	_ = handleCopy
+)

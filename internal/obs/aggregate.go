@@ -14,7 +14,7 @@ type Aggregator struct {
 	reg *Registry
 
 	mu     sync.Mutex
-	byKind map[Kind]*Counter
+	byKind map[Kind]*Counter // guarded by mu
 }
 
 // NewAggregator returns an Aggregator counting into reg. A nil reg

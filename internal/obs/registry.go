@@ -22,8 +22,8 @@ import (
 // the trace (see Event) and reported separately.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

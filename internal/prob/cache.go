@@ -60,12 +60,12 @@ type cacheEntry struct {
 
 type cacheShard struct {
 	mu sync.Mutex
-	m  map[string]cacheEntry
+	m  map[string]cacheEntry // guarded by mu
 	// fifo holds insertion order for eviction. It may briefly contain
 	// keys already deleted by lazy invalidation (the eviction loop skips
 	// them) or duplicates from re-insertion after a stale drop; it is
 	// compacted when it outgrows the live map.
-	fifo []string
+	fifo []string // guarded by mu
 	cap  int
 }
 
@@ -119,6 +119,7 @@ func NewComponentCache(maxEntries int) *ComponentCache {
 	}
 	c := &ComponentCache{varEpoch: map[ctable.Var]uint64{}}
 	for i := range c.shards {
+		//lint:ignore lockcheck construction: the cache has not escaped yet, no other goroutine can observe the shards
 		c.shards[i].m = make(map[string]cacheEntry)
 		c.shards[i].cap = perShard
 	}
