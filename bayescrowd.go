@@ -340,8 +340,22 @@ func NewTraceAggregator(reg *MetricsRegistry) *TraceAggregator { return obs.NewA
 // ServeObs starts the opt-in debug HTTP endpoint on addr in the
 // background — GET /metrics dumps reg as JSON, /debug/pprof/* exposes
 // the standard profiles — and returns the bound address (addr may use
-// port 0). The server runs for the remainder of the process.
+// port 0). The server runs for the remainder of the process; callers
+// that need to stop the endpoint use StartObs instead.
 func ServeObs(addr string, reg *MetricsRegistry) (string, error) { return obs.Serve(addr, reg) }
+
+// ObsServer is the managed lifecycle of a debug endpoint started with
+// StartObs: Addr reports the bound address and Shutdown drains it
+// gracefully.
+type ObsServer = obs.HTTPServer
+
+// StartObs starts the debug HTTP endpoint like ServeObs but returns
+// the managed handle so the caller can drain it — the form
+// long-running processes use so the endpoint shuts down with the rest
+// of the process (ObsServer.Shutdown).
+func StartObs(addr string, reg *MetricsRegistry) (*ObsServer, error) {
+	return obs.StartServer(addr, obs.Handler(reg))
+}
 
 // SetPoolMetrics points the worker pool's process-wide counters
 // (parallel.fanouts / parallel.inline / parallel.items) at reg; nil

@@ -1,0 +1,200 @@
+// Command bayescrowdd is the long-running multi-query skyline daemon:
+// it serves the bayescrowd pipeline over HTTP/JSON, running many
+// skyline queries concurrently over shared registered datasets with a
+// fair round-robin scheduler, cross-query crowd-task deduplication and
+// exact budget splitting. docs/SERVICE.md is the full API reference;
+// docs/OPERATIONS.md §"Running the daemon" is the runbook.
+//
+// The crowd phase is an event loop: the daemon posts tasks to its task
+// hub and parks the querying goroutine until answers arrive as
+// POST /v1/answers/{taskid} callbacks. Without -truth the daemon is a
+// pure callback server — an external bridge (or an operator with curl)
+// answers the open tasks listed at GET /v1/tasks. With -truth the
+// daemon drives itself: a loopback worker answers every opened task
+// from the complete CSV through simulated workers (with optional fault
+// injection) and delivers the answers back through the same HTTP
+// callback path a real marketplace bridge would use.
+//
+// Examples:
+//
+//	bayescrowdd -addr :8080
+//	bayescrowdd -addr :8080 -data holes.csv -name nba -truth full.csv
+//	bayescrowdd -addr :8080 -truth full.csv -accuracy 0.9 -dropprob 0.05 -taskdeadline 5s
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: admissions stop,
+// open crowd tasks fail over with full refunds, in-flight queries
+// finish or degrade to their best-effort result, and the HTTP server
+// shuts down once every query goroutine has exited (bounded by
+// -draintimeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bayescrowd/internal/crowd"
+	"bayescrowd/internal/dataset"
+	"bayescrowd/internal/obs"
+	"bayescrowd/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run is main's testable body; it returns the process exit code.
+func run() int {
+	var (
+		addr          = flag.String("addr", ":8080", "HTTP listen address (host:port; port 0 picks a free port)")
+		workers       = flag.Int("workers", 0, "default per-query worker count; 0 = one per CPU (a query may override)")
+		maxConcurrent = flag.Int("maxconcurrent", 2, "queries executing machine work simultaneously (compute tokens)")
+		taskDeadline  = flag.Duration("taskdeadline", 0, "open crowd tasks expire (with full refund) after this long; 0 = never")
+		drainTimeout  = flag.Duration("draintimeout", 30*time.Second, "how long a shutdown waits for in-flight queries before giving up")
+		traceLimit    = flag.Int("tracelimit", 0, "per-query trace buffer cap in bytes; 0 = 4 MiB")
+
+		dataPath  = flag.String("data", "", "incomplete CSV to pre-register at startup (optional; datasets can also be registered over HTTP)")
+		name      = flag.String("name", "default", "registry name for the -data dataset")
+		marginals = flag.Bool("marginals", false, "model the -data dataset's missing values by empirical marginals (skip Bayesian-network learning)")
+
+		truthPath  = flag.String("truth", "", "complete CSV enabling the loopback crowd: every open task is answered from it")
+		accuracy   = flag.Float64("accuracy", 1.0, "loopback worker accuracy in [0,1] (three workers per task, majority vote)")
+		dropProb   = flag.Float64("dropprob", 0, "loopback fault injection: per-task probability the answer is dropped")
+		outageProb = flag.Float64("outageprob", 0, "loopback fault injection: per-task probability the platform call fails outright")
+		spamProb   = flag.Float64("spamprob", 0, "loopback fault injection: per-task probability the answer is replaced by a random relation")
+		seed       = flag.Int64("seed", 1, "loopback crowd RNG seed")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+
+	// The loopback (if any) must exist before the service config that
+	// references it; its endpoint is filled in once the listener is up.
+	var loop *service.Loopback
+	if *truthPath != "" {
+		truth, err := readCSV(*truthPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bayescrowdd: -truth: %v\n", err)
+			return 1
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		var platform crowd.Platform = crowd.NewSimulated(truth, *accuracy, rng)
+		if *dropProb > 0 || *outageProb > 0 || *spamProb > 0 {
+			platform = crowd.NewUnreliable(platform, *dropProb, *outageProb, *spamProb, rng)
+		}
+		loop = service.NewLoopback(platform, "")
+	}
+
+	cfg := service.Config{
+		Workers:       *workers,
+		MaxConcurrent: *maxConcurrent,
+		TaskDeadline:  *taskDeadline,
+		Metrics:       reg,
+		TraceLimit:    *traceLimit,
+	}
+	if loop != nil {
+		cfg.Sink = loop
+	}
+	srv := service.New(cfg)
+
+	if *dataPath != "" {
+		d, err := readCSV(*dataPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bayescrowdd: -data: %v\n", err)
+			return 1
+		}
+		info, err := srv.RegisterDataset(datasetRequest(*name, d, *marginals))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bayescrowdd: register %q: %v\n", *name, err)
+			return 1
+		}
+		fmt.Printf("bayescrowdd: registered dataset %q: %d objects, %d attrs, %.1f%% missing\n",
+			info.Name, info.Objects, info.Attrs, 100*info.MissingRate)
+	}
+
+	hs, err := obs.StartServer(*addr, srv.Handler())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bayescrowdd: listen %s: %v\n", *addr, err)
+		return 1
+	}
+	fmt.Printf("bayescrowdd: serving on http://%s (API reference: docs/SERVICE.md)\n", hs.Addr())
+
+	srv.Start()
+	if loop != nil {
+		loop.SetEndpoint("http://" + hs.Addr())
+		loop.Start()
+		fmt.Printf("bayescrowdd: loopback crowd enabled (accuracy %.2f, drop %.2f, outage %.2f, spam %.2f)\n",
+			*accuracy, *dropProb, *outageProb, *spamProb)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("bayescrowdd: %v — draining (timeout %s)\n", got, *drainTimeout)
+
+	code := 0
+	// Stop the loopback first so every queued answer is delivered before
+	// the hub fails what remains open.
+	if loop != nil {
+		loop.Stop()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "bayescrowdd: drain: %v\n", err)
+		code = 1
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "bayescrowdd: http shutdown: %v\n", err)
+		code = 1
+	}
+	if loop != nil {
+		answered, dropped, failed, lastErr := loop.Stats()
+		fmt.Printf("bayescrowdd: loopback delivered %d answers (%d dropped, %d failed callbacks)\n",
+			answered, dropped, failed)
+		if lastErr != nil {
+			fmt.Printf("bayescrowdd: last callback error: %v\n", lastErr)
+		}
+	}
+	fmt.Println("bayescrowdd: stopped")
+	return code
+}
+
+// readCSV loads a dataset CSV in the bayescrowd format (see
+// bayescrowd.WriteCSV).
+func readCSV(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dataset.ReadCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return d, err
+}
+
+// datasetRequest converts a parsed dataset into the wire registration
+// request, preserving missing cells.
+func datasetRequest(name string, d *dataset.Dataset, marginalsOnly bool) service.DatasetRequest {
+	req := service.DatasetRequest{Name: name, MarginalsOnly: marginalsOnly}
+	for _, a := range d.Attrs {
+		req.Attrs = append(req.Attrs, service.AttrSpec{Name: a.Name, Levels: a.Levels})
+	}
+	for _, o := range d.Objects {
+		row := make([]*int, len(o.Cells))
+		for j, c := range o.Cells {
+			if !c.Missing {
+				v := c.Value
+				row[j] = &v
+			}
+		}
+		req.Rows = append(req.Rows, row)
+	}
+	return req
+}

@@ -128,10 +128,19 @@ func RepoConfig(modulePath string) *Config {
 		LedgerTypes: []string{
 			p("internal/stream") + ".CrowdLedger",
 			p("internal/crowd") + ".Stats",
+			p("internal/service") + ".Ledger",
 		},
 		LedgerRoots: []string{
 			p("internal/stream") + ".CrowdEngine.Tick",
 			p("internal/core") + ".crowdPhase",
+			// The service hub's settlement paths are the only legal
+			// mutation sites of the per-query crowd-cost ledgers; every
+			// reserve/charge/refund happens inside these call trees, which
+			// is what keeps Ledger.Conserved a theorem rather than a hope.
+			p("internal/service") + ".hub.register",
+			p("internal/service") + ".hub.resolve",
+			p("internal/service") + ".hub.expireOverdue",
+			p("internal/service") + ".hub.drain",
 		},
 	}
 }

@@ -1,0 +1,69 @@
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"bayescrowd/internal/service"
+)
+
+// routeTokenRe matches a backticked route token in docs/SERVICE.md:
+// `METHOD /path`. Concrete request examples live in fenced code blocks
+// (stripped before scanning), so every inline token is a route claim.
+var routeTokenRe = regexp.MustCompile("`(GET|POST|PUT|DELETE|PATCH|HEAD) (/[^`]*)`")
+
+// anyFenceRe matches every fenced code block, whatever the language —
+// unlike fenceRe, which captures only ```go snippets for the gofmt
+// gate.
+var anyFenceRe = regexp.MustCompile("(?s)```.*?```")
+
+// TestServiceDocRoutes cross-checks docs/SERVICE.md against
+// service.Routes(), the single source of truth the daemon's mux is
+// built from: every served route must be documented as a backticked
+// `METHOD /path` token, and every such token in the document must name
+// a served route. A route cannot be added, renamed or removed without
+// the API reference changing in the same commit.
+func TestServiceDocRoutes(t *testing.T) {
+	root := repoRoot(t)
+	data, err := os.ReadFile(filepath.Join(root, "docs", "SERVICE.md"))
+	if err != nil {
+		t.Fatalf("docs/SERVICE.md must exist and document the service API: %v", err)
+	}
+	text := anyFenceRe.ReplaceAllString(string(data), "")
+
+	documented := map[string]bool{}
+	for _, m := range routeTokenRe.FindAllStringSubmatch(text, -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+
+	served := map[string]bool{}
+	for _, r := range service.Routes() {
+		served[r.Method+" "+r.Pattern] = true
+	}
+
+	var missing, stale []string
+	for route := range served {
+		if !documented[route] {
+			missing = append(missing, route)
+		}
+	}
+	for route := range documented {
+		if !served[route] {
+			stale = append(stale, route)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("routes served but not documented in docs/SERVICE.md:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+	if len(stale) > 0 {
+		t.Errorf("routes documented in docs/SERVICE.md but not served (renamed or removed?):\n  %s",
+			strings.Join(stale, "\n  "))
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -11,17 +12,12 @@ import (
 // Handler returns the debug endpoint's HTTP handler: GET /metrics dumps
 // the registry as JSON, and /debug/pprof/* exposes the standard
 // net/http/pprof profiles. The handler is mounted on its own mux — the
-// process's DefaultServeMux is left alone.
+// process's DefaultServeMux is left alone — so callers embedding the
+// routes in a larger mux (the bayescrowdd daemon) can mount it under
+// their own patterns instead.
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := reg.WriteJSON(w); err != nil {
-			// The response is already partially written; nothing useful
-			// remains to send the client.
-			fmt.Fprintf(os.Stderr, "obs: /metrics write: %v\n", err)
-		}
-	})
+	mux.HandleFunc("/metrics", MetricsHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -30,22 +26,84 @@ func Handler(reg *Registry) http.Handler {
 	return mux
 }
 
-// Serve starts the debug endpoint on addr (e.g. ":6060") in the
-// background and returns the bound address, so addr may use port 0. The
-// server runs for the remainder of the process; it is an opt-in debug
-// aid, not a managed service, so there is no shutdown handle — exiting
-// the process is the shutdown.
-func Serve(addr string, reg *Registry) (string, error) {
+// MetricsHandler returns the /metrics handler alone: a JSON dump of the
+// registry. Servers that compose their own mux (internal/service) mount
+// it next to their API routes.
+func MetricsHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			// The response is already partially written; nothing useful
+			// remains to send the client.
+			fmt.Fprintf(os.Stderr, "obs: /metrics write: %v\n", err)
+		}
+	}
+}
+
+// HTTPServer is a managed HTTP server lifecycle: a bound listener, a
+// background serve loop, and a graceful Shutdown. The obs debug
+// endpoint and the bayescrowdd service share it, so "drain the daemon"
+// and "stop the debug endpoint" are the same mechanism.
+type HTTPServer struct {
+	srv  *http.Server
+	addr string
+	done chan struct{}
+	err  error // serve-loop exit error, readable after done closes
+}
+
+// StartServer binds addr (which may use port 0), starts serving h in
+// the background, and returns the running server. Stop it with
+// Shutdown; an HTTPServer that is never shut down serves for the
+// remainder of the process, which is all the opt-in debug endpoint
+// needs.
+func StartServer(addr string, h http.Handler) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{
+		srv:  &http.Server{Handler: h},
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	//lint:ignore goroutine the serve loop runs for the server's lifetime, outside the data-parallel pools, and is joined by Shutdown
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err = err
+			fmt.Fprintf(os.Stderr, "obs: http endpoint: %v\n", err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address, e.g. "127.0.0.1:6060".
+func (s *HTTPServer) Addr() string { return s.addr }
+
+// Shutdown drains the server gracefully: the listener closes
+// immediately (no new connections), in-flight requests run to
+// completion or until ctx expires, and the serve loop is joined before
+// Shutdown returns. It reports the first error from either the drain
+// or the serve loop.
+func (s *HTTPServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	if err == nil {
+		err = s.err
+	}
+	return err
+}
+
+// Serve starts the debug endpoint on addr (e.g. ":6060") in the
+// background and returns the bound address, so addr may use port 0.
+// The server runs for the remainder of the process — the fire-and-
+// forget form for CLIs; long-running daemons use StartServer and hold
+// the handle so the endpoint drains with the rest of the process
+// (HTTPServer.Shutdown).
+func Serve(addr string, reg *Registry) (string, error) {
+	s, err := StartServer(addr, Handler(reg))
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
-	//lint:ignore goroutine the opt-in debug endpoint serves for the process lifetime, outside the data-parallel pools
-	go func() {
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintf(os.Stderr, "obs: debug endpoint: %v\n", err)
-		}
-	}()
-	return ln.Addr().String(), nil
+	return s.Addr(), nil
 }

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerShutdown exercises the managed lifecycle: the endpoint
+// serves /metrics while up, Shutdown drains it, and afterwards the
+// port no longer accepts connections.
+func TestServerShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test.counter").Add(7)
+
+	s, err := StartServer("127.0.0.1:0", Handler(reg))
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatalf("close body: %v", cerr)
+	}
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "test.counter") {
+		t.Fatalf("metrics dump missing counter: %s", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The listener must be closed: a fresh dial fails fast.
+	conn, err := net.DialTimeout("tcp", s.Addr(), 500*time.Millisecond)
+	if err == nil {
+		if cerr := conn.Close(); cerr != nil {
+			t.Logf("close probe conn: %v", cerr)
+		}
+		t.Fatal("dial succeeded after Shutdown")
+	}
+
+	// A second Shutdown is harmless (http.Server.Shutdown is idempotent).
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}

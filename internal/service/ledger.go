@@ -1,0 +1,57 @@
+package service
+
+// UnitMu is the hub's fixed-point money resolution: one crowd task
+// costs exactly UnitMu micro-units (mu). Budget splits across queries
+// sharing a deduplicated task are computed in mu so the arithmetic is
+// exact — no floating point, no rounding drift — and the per-query
+// conservation law below holds to the last unit.
+const UnitMu = 1000
+
+// Ledger is one query's crowd-cost account at the hub. Every task
+// request reserves a full UnitMu; resolution charges the query its
+// exact share of the task's unit price (split across the queries that
+// shared the task, earliest joiners absorbing the integer remainder)
+// and refunds the rest. Lost work — expiry, drain — refunds the whole
+// reservation.
+//
+// Two conservation laws hold after every hub operation, checked by the
+// service test suite and watched by the bayeslint ledger analyzer:
+//
+//	UnitMu·Requested == ChargedMu + RefundedMu + UnitMu·InFlight   (money)
+//	Requested == Answered + Expired + Failed + InFlight            (tasks)
+//
+// All fields are guarded by the hub's mutex; handlers snapshot the
+// struct under it.
+type Ledger struct {
+	// Requested counts task needs this query issued — every task of
+	// every crowd round, whether it opened a fresh hub task or joined an
+	// existing one.
+	Requested int `json:"requested"`
+	// Shared counts the subset of Requested that joined a task another
+	// query (or an earlier round) already had open — the dedup hits.
+	// Requested-Shared is the number of tasks this query caused to be
+	// posted to the crowd.
+	Shared int `json:"shared"`
+	// Answered counts requests resolved by a crowd answer (charged);
+	// Expired counts requests resolved by deadline expiry and Failed
+	// counts requests resolved by drain or platform failure (both fully
+	// refunded). InFlight counts requests not yet resolved.
+	Answered int `json:"answered"`
+	Expired  int `json:"expired"`
+	Failed   int `json:"failed"`
+	InFlight int `json:"inFlight"`
+	// ChargedMu and RefundedMu are the money movements in mu: charges
+	// are the query's exact shares of answered task prices, refunds are
+	// the unreserved remainders plus the full reservations of lost work.
+	ChargedMu  int64 `json:"chargedMu"`
+	RefundedMu int64 `json:"refundedMu"`
+}
+
+// Conserved reports whether both conservation laws hold: every reserved
+// mu is charged, refunded, or still reserved, and every request is
+// answered, expired, failed, or in flight.
+func (l Ledger) Conserved() bool {
+	money := int64(UnitMu)*int64(l.Requested) == l.ChargedMu+l.RefundedMu+int64(UnitMu)*int64(l.InFlight)
+	tasks := l.Requested == l.Answered+l.Expired+l.Failed+l.InFlight
+	return money && tasks
+}

@@ -1,0 +1,50 @@
+package service
+
+import "testing"
+
+// TestLedgerConserved walks the conservation laws through the ledger
+// states the hub produces.
+func TestLedgerConserved(t *testing.T) {
+	cases := []struct {
+		name string
+		l    Ledger
+		want bool
+	}{
+		{"zero", Ledger{}, true},
+		{"reserved", Ledger{Requested: 3, InFlight: 3}, true},
+		{"answered exact", Ledger{Requested: 2, Answered: 2, ChargedMu: 2 * UnitMu}, true},
+		{"split 2 ways", Ledger{Requested: 1, Answered: 1, Shared: 1, ChargedMu: UnitMu / 2, RefundedMu: UnitMu - UnitMu/2}, true},
+		{"split 3 ways with remainder", Ledger{Requested: 1, Answered: 1, Shared: 1, ChargedMu: UnitMu/3 + 1, RefundedMu: UnitMu - UnitMu/3 - 1}, true},
+		{"expired refund", Ledger{Requested: 1, Expired: 1, RefundedMu: UnitMu}, true},
+		{"drain refund", Ledger{Requested: 2, Failed: 2, RefundedMu: 2 * UnitMu}, true},
+		{"lost money", Ledger{Requested: 1, Answered: 1, ChargedMu: UnitMu - 1}, false},
+		{"lost task", Ledger{Requested: 2, Answered: 1, ChargedMu: 2 * UnitMu}, false},
+		{"phantom charge", Ledger{ChargedMu: UnitMu}, false},
+	}
+	for _, c := range cases {
+		if got := c.l.Conserved(); got != c.want {
+			t.Errorf("%s: Conserved() = %v, want %v (%+v)", c.name, got, c.want, c.l)
+		}
+	}
+}
+
+// TestHubSplitRemainder checks the exact-split rule directly: UnitMu
+// must divide across k sharers with the earliest joiners absorbing the
+// remainder, summing back to exactly UnitMu.
+func TestHubSplitRemainder(t *testing.T) {
+	for k := 1; k <= 7; k++ {
+		share := int64(UnitMu / k)
+		extra := UnitMu % k
+		var sum int64
+		for i := 0; i < k; i++ {
+			c := share
+			if i < extra {
+				c++
+			}
+			sum += c
+		}
+		if sum != UnitMu {
+			t.Errorf("k=%d: shares sum to %d, want %d", k, sum, UnitMu)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package service
+
+import "sync"
+
+// scheduler is the fair compute-token gate: at most capacity queries
+// execute machine work (c-table build, Pr(φ) fan-outs, selection) at
+// any moment, and tokens are granted strictly in request order. A
+// query holds a token only while computing — the hub platform releases
+// it before parking for crowd answers and re-queues at the tail on
+// wake-up — so an expensive query can occupy at most one of the
+// capacity slots for one compute step at a time and every waiter is
+// granted before any later requester: round-robin at compute-step
+// granularity, no starvation.
+type scheduler struct {
+	mu      sync.Mutex
+	cap     int
+	running int             // guarded by mu
+	waiters []chan struct{} // guarded by mu; FIFO
+}
+
+// newScheduler returns a gate with the given capacity (minimum 1).
+func newScheduler(capacity int) *scheduler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &scheduler{cap: capacity}
+}
+
+// acquire blocks until a compute token is granted. Grants are FIFO:
+// a request enqueues behind every earlier waiter even when a token is
+// technically free at a later moment.
+func (s *scheduler) acquire() {
+	s.mu.Lock()
+	if s.running < s.cap && len(s.waiters) == 0 {
+		s.running++
+		s.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	s.waiters = append(s.waiters, ch)
+	s.mu.Unlock()
+	<-ch
+}
+
+// release returns a token; if anyone is queued, the token transfers to
+// the head waiter without touching the running count.
+func (s *scheduler) release() {
+	s.mu.Lock()
+	if len(s.waiters) > 0 {
+		ch := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.mu.Unlock()
+		close(ch)
+		return
+	}
+	s.running--
+	s.mu.Unlock()
+}
